@@ -1,0 +1,40 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper (see DESIGN.md §4
+for the experiment index) and prints the reproduced rows/series next to the
+published values, so ``pytest benchmarks/ --benchmark-only -s`` doubles as a
+report generator.  The heavyweight artifacts — the synthetic benchmark suite
+and the fitted distortion characteristic curve — are session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import benchmark_images, default_curve, default_pipeline
+
+
+def pytest_configure(config):
+    # The benchmarks are also collected by a plain `pytest benchmarks/` run;
+    # they are marked so users can deselect them explicitly if needed.
+    config.addinivalue_line("markers",
+                            "paper_experiment(id): maps a benchmark to a "
+                            "table/figure of the paper")
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """All 19 synthetic benchmark images."""
+    return benchmark_images()
+
+
+@pytest.fixture(scope="session")
+def curve():
+    """The session-cached distortion characteristic curve (Fig. 7 artifact)."""
+    return default_curve()
+
+
+@pytest.fixture(scope="session")
+def pipeline(curve):
+    """The default HEBS pipeline used by every experiment."""
+    return default_pipeline()

@@ -1,0 +1,70 @@
+"""Benchmarks: ablations of HEBS design choices (DESIGN.md ids abl-m, abl-dist).
+
+Two design decisions the paper motivates but does not sweep:
+
+* **PLC segment count** (Sec. 4.1): few segments keep the reference-driver
+  hardware small, many segments track the exact GHE transformation better.
+* **Distortion measure** (Sec. 6 future work): what happens to the selected
+  dynamic range / power saving when the characteristic curve is built on a
+  different quality metric.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation_distortion_measures,
+    ablation_plc_segments,
+)
+
+
+@pytest.mark.paper_experiment("abl-m")
+def test_ablation_plc_segments(benchmark):
+    table = benchmark.pedantic(
+        ablation_plc_segments,
+        kwargs={"image_name": "lena", "target_range": 128,
+                "segment_counts": (2, 3, 4, 6, 8, 12, 16)},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table.render())
+
+    errors = [row["plc_mse"] for row in table.rows]
+    savings = [row["power_saving%"] for row in table.rows]
+    distortions = [row["distortion%"] for row in table.rows]
+
+    # approximation error shrinks monotonically with the segment budget
+    assert errors == sorted(errors, reverse=True)
+    # 8 segments (the paper's hardware) already track the GHE transform well
+    eight_segment_row = next(row for row in table.rows if row["segments"] == 8)
+    assert eight_segment_row["plc_mse"] < errors[0] / 4 + 1e-9
+    # the power saving is set by the target range, not by the segment count
+    assert max(savings) - min(savings) < 3.0
+    # distortion does not explode at low segment counts (clipping is bounded)
+    assert max(distortions) < 40.0
+
+
+@pytest.mark.paper_experiment("abl-dist")
+def test_ablation_distortion_measures(benchmark):
+    table = benchmark.pedantic(
+        ablation_distortion_measures,
+        kwargs={"measures": ("effective", "uqi", "ssim", "rmse"),
+                "max_distortion": 10.0,
+                "image_names": ("lena", "peppers", "baboon", "pout")},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table.render())
+
+    rows = {row["measure"]: row for row in table.rows}
+    assert set(rows) == {"effective", "uqi", "ssim", "rmse"}
+
+    for row in table.rows:
+        assert 1 <= row["selected_range"] <= 255
+        assert 0.0 <= row["mean_backlight"] <= 1.0
+        assert row["mean_saving%"] >= 0.0
+
+    # the HVS-aware effective measure permits at least as much compression
+    # (and therefore saving) as the raw UQI at the same nominal budget -
+    # the paper's core argument for a better distortion definition
+    assert rows["effective"]["selected_range"] <= rows["uqi"]["selected_range"]
+    assert rows["effective"]["mean_saving%"] >= rows["uqi"]["mean_saving%"] - 1e-6

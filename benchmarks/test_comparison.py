@@ -1,0 +1,53 @@
+"""Benchmark: HEBS versus the prior techniques (the paper's "+15%" claim).
+
+Sec. 1 and Sec. 5.2 claim HEBS delivers roughly 15 percentage points more
+display-power saving than the best previously reported technique (DLS [4] /
+CBCS [5]) at a matched distortion level.  The original papers quoted numbers
+measured under their own (laxer) distortion metrics; here every method is
+constrained by the *same* effective-distortion budget, which is the harder,
+apples-to-apples version of the comparison.
+
+Expected shape: HEBS >= CBCS >= DLS variants, with a clear gap between HEBS
+and the weaker DLS policy.
+"""
+
+import pytest
+
+from repro.bench.experiments import comparison_vs_baselines
+
+
+@pytest.mark.paper_experiment("cmp15")
+def test_comparison_vs_baselines(benchmark, suite, pipeline):
+    table = benchmark.pedantic(
+        comparison_vs_baselines,
+        kwargs={"max_distortion": 10.0, "images": suite, "pipeline": pipeline},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table.render())
+    print("paper claim: ~15 pp advantage over the best of refs. [4]/[5] "
+          "(measured under their own metrics)")
+
+    savings = {row["method"]: row["mean_saving%"] for row in table.rows}
+    distortions = {row["method"]: row["mean_distortion%"] for row in table.rows}
+
+    # every method respects the common 10% budget on average
+    for method, value in distortions.items():
+        assert value <= 10.5, (method, value)
+
+    # HEBS wins against every baseline
+    assert savings["hebs"] >= savings["cbcs"]
+    assert savings["hebs"] >= savings["dls-contrast"]
+    assert savings["hebs"] >= savings["dls-brightness"]
+
+    # and the gap to the weaker prior technique is double digits, the gap to
+    # the best baseline is clearly positive
+    assert savings["hebs"] - savings["dls-brightness"] > 5.0
+    best_baseline = max(savings["cbcs"], savings["dls-contrast"],
+                        savings["dls-brightness"])
+    assert savings["hebs"] - best_baseline >= 1.0
+
+    # HEBS operates at a visibly lower backlight level
+    factors = {row["method"]: row["mean_backlight"] for row in table.rows}
+    assert factors["hebs"] <= min(factors["dls-brightness"],
+                                  factors["dls-contrast"]) + 0.02

@@ -1,0 +1,69 @@
+"""Benchmarks: extension studies (abl-eq and the interface study).
+
+Two experiments beyond the paper's evaluation section, both tied to text in
+the paper:
+
+* ``abl-eq`` — Sec. 6 names "alternative ... histograms equalization
+  methods" as future work; the ablation compares plain GHE against clipped
+  (contrast-limited) equalization and bi-histogram equalization at a fixed
+  dynamic range.
+* ``interface`` — Sec. 1's "first class of techniques" reduces the switching
+  activity of the video interface; the study shows bus encoding and
+  backlight scaling compose (HEBS barely changes the bus energy, the
+  encodings save the same fraction either way).
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    ablation_equalization_methods,
+    interface_encoding_study,
+)
+
+
+@pytest.mark.paper_experiment("abl-eq")
+def test_ablation_equalization_methods(benchmark):
+    table = benchmark.pedantic(ablation_equalization_methods,
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    rows = {row["method"]: row for row in table.rows}
+    assert set(rows) == {"ghe", "clipped", "bbhe"}
+
+    # GHE produces the flattest histogram (that is its objective)
+    assert rows["ghe"]["mean_objective"] <= rows["clipped"]["mean_objective"] + 1e-9
+    assert rows["ghe"]["mean_objective"] <= rows["bbhe"]["mean_objective"] + 1e-9
+
+    # BBHE preserves mean brightness best
+    assert rows["bbhe"]["mean_brightness_shift"] <= \
+        rows["ghe"]["mean_brightness_shift"] + 0.02
+
+    # all three stay in a sane distortion regime at this range
+    for row in table.rows:
+        assert row["mean_distortion%"] < 30.0
+
+
+@pytest.mark.paper_experiment("interface")
+def test_interface_encoding_study(benchmark, pipeline):
+    table = benchmark.pedantic(interface_encoding_study,
+                               kwargs={"pipeline": pipeline},
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+
+    originals = [row for row in table.rows if row["variant"] == "original"]
+    transformed = [row for row in table.rows if row["variant"] == "hebs"]
+    assert len(originals) == len(transformed) == 4
+
+    for original, hebs in zip(originals, transformed):
+        # backlight scaling reduces display power ...
+        assert hebs["display_power"] < original["display_power"]
+        # ... while the frame costs about the same to transmit
+        assert hebs["binary"] == pytest.approx(original["binary"], rel=0.5)
+        # the bus energy is a second-order term next to the display power
+        assert original["binary"] < 0.2 * original["display_power"]
+
+    # bus-invert never costs more transitions than plain binary
+    for row in table.rows:
+        assert row["bus-invert"] <= row["binary"] + 1e-12

@@ -1,0 +1,45 @@
+"""Benchmark: Figure 2 — the pixel transformation function family.
+
+Fig. 2 is illustrative (identity, grayscale shift, grayscale spreading and
+single-band spreading at a common backlight factor); the benchmark
+regenerates the four curves and checks their defining properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import figure2_transform_functions
+
+
+@pytest.mark.paper_experiment("fig2")
+def test_figure2_transform_functions(benchmark):
+    series = benchmark.pedantic(figure2_transform_functions,
+                                kwargs={"beta": 0.6}, rounds=3, iterations=1)
+    x = series["x"]
+    beta = float(series["beta"][0])
+    print()
+    print(f"beta = {beta}")
+    for name in ("identity", "grayscale_shift", "grayscale_spreading",
+                 "single_band_spreading"):
+        y = series[name]
+        print(f"  {name:24s} y(0)={y[0]:.2f}  y(0.5)={y[len(y)//2]:.2f} "
+              f" y(1)={y[-1]:.2f}")
+
+    # Fig. 2a: identity
+    assert np.allclose(series["identity"], x)
+    # Fig. 2b: shift raises blacks by 1-beta and saturates whites
+    assert series["grayscale_shift"][0] == pytest.approx(1 - beta)
+    assert series["grayscale_shift"][-1] == 1.0
+    # Fig. 2c: spreading has slope 1/beta then saturates
+    mid = np.searchsorted(x, beta / 2)
+    assert series["grayscale_spreading"][mid] == pytest.approx(0.5, abs=0.01)
+    assert series["grayscale_spreading"][-1] == 1.0
+    # Fig. 2d: single band is flat / linear / flat
+    band = series["single_band_spreading"]
+    assert band[0] == 0.0 and band[-1] == 1.0
+    slopes = np.diff(band) / np.diff(x)
+    assert slopes.max() > 1.2      # the band is spread (slope > 1)
+    # all four are monotone
+    for name in ("identity", "grayscale_shift", "grayscale_spreading",
+                 "single_band_spreading"):
+        assert np.all(np.diff(series[name]) >= -1e-12), name

@@ -1,0 +1,43 @@
+"""Benchmark: Figure 3 — the k-window grayscale spreading function.
+
+Fig. 3 shows the piecewise-linear transfer function HEBS programs into the
+hierarchical reference driver: several linear regions with different slopes
+(possibly with flat bands), approximating the exact GHE transformation.  The
+benchmark regenerates it for the Lena stand-in and checks the k-band
+structure and the approximation quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import figure3_kband_function
+
+
+@pytest.mark.paper_experiment("fig3")
+def test_figure3_kband_function(benchmark):
+    series = benchmark.pedantic(
+        figure3_kband_function,
+        kwargs={"image_name": "lena", "target_range": 128, "n_segments": 4},
+        rounds=1, iterations=1,
+    )
+    print()
+    print("breakpoints (x -> y):")
+    for x, y in zip(series["breakpoints_x"], series["breakpoints_y"]):
+        print(f"  {x:6.1f} -> {y:6.1f}")
+    print(f"segment slopes: {np.round(series['slopes'], 3)}")
+    print(f"PLC mean squared error: {series['plc_mse'][0]:.3f} levels^2")
+
+    # k-band structure: at most 4 segments, more than one distinct slope
+    assert 2 <= series["breakpoints_x"].shape[0] <= 5
+    assert len(np.unique(np.round(series["slopes"], 3))) >= 2
+
+    # the coarse curve tracks the exact GHE transformation closely
+    error = np.abs(series["exact"] - series["coarse"])
+    assert error.mean() < 8.0          # grayscale levels
+    assert series["plc_mse"][0] < 100.0
+
+    # both curves are monotone and bounded by the target range
+    assert np.all(np.diff(series["exact"]) >= -1e-9)
+    assert np.all(np.diff(series["coarse"]) >= -1e-9)
+    assert series["exact"].max() <= 128.5
+    assert series["coarse"].max() <= 128.5

@@ -1,0 +1,62 @@
+"""Benchmark: Figure 6a/6b — CCFL and panel power characterization.
+
+Fig. 6a plots CCFL illuminance versus driver power and the paper fits the
+two-piece linear model of Eq. (11) with
+``Cs=0.8234, Alin=1.96, Clin=-0.2372, Asat=6.944, |Csat|=4.324``.
+Fig. 6b plots panel power versus transmittance and fits the quadratic of
+Eq. (12) with ``a=0.02449, b=0.04984, c=0.993``.
+
+The benchmarks simulate the measurements, re-run the fits and check that the
+published coefficients are recovered.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    figure6a_ccfl_characterization,
+    figure6b_panel_characterization,
+)
+
+
+@pytest.mark.paper_experiment("fig6a")
+def test_figure6a_ccfl_characterization(benchmark):
+    result = benchmark.pedantic(figure6a_ccfl_characterization,
+                                rounds=3, iterations=1)
+    fitted, paper = result["fitted"], result["paper"]
+    print()
+    print(f"{'coefficient':12s} {'fitted':>10s} {'paper':>10s}")
+    for key in ("Cs", "Alin", "Clin", "Asat", "Csat"):
+        print(f"{key:12s} {fitted[key]:10.4f} {paper[key]:10.4f}")
+
+    # the knee and both slopes are recovered from the simulated measurement
+    assert fitted["Cs"] == pytest.approx(paper["Cs"], abs=0.05)
+    assert fitted["Alin"] == pytest.approx(paper["Alin"], rel=0.15)
+    assert fitted["Asat"] == pytest.approx(paper["Asat"], rel=0.15)
+    assert fitted["Clin"] == pytest.approx(paper["Clin"], abs=0.1)
+    assert fitted["Csat"] == pytest.approx(paper["Csat"], abs=0.5)
+
+    # the shape of Fig. 6a: power rises monotonically and the saturated
+    # region is much steeper than the linear one
+    assert fitted["Asat"] > 2.0 * fitted["Alin"]
+
+
+@pytest.mark.paper_experiment("fig6b")
+def test_figure6b_panel_characterization(benchmark):
+    result = benchmark.pedantic(figure6b_panel_characterization,
+                                rounds=3, iterations=1)
+    fitted, paper = result["fitted"], result["paper"]
+    print()
+    print(f"{'coefficient':12s} {'fitted':>10s} {'paper':>10s}")
+    for key in ("a", "b", "c"):
+        print(f"{key:12s} {fitted[key]:10.5f} {paper[key]:10.5f}")
+
+    assert fitted["c"] == pytest.approx(paper["c"], abs=0.01)
+    assert fitted["a"] == pytest.approx(paper["a"], abs=0.02)
+    assert fitted["b"] == pytest.approx(paper["b"], abs=0.02)
+
+    # the shape of Fig. 6b: the curve is nearly flat (the panel-power change
+    # is negligible next to the CCFL) and decreases with transmittance for
+    # the normally-white panel
+    power = result["power"]
+    assert power.max() - power.min() < 0.06
+    assert power[0] > power[-1]

@@ -1,0 +1,57 @@
+"""Benchmark: Figure 7 — distortion versus dynamic range with two global fits.
+
+Fig. 7 plots, for every benchmark image and ten target dynamic ranges
+(50..250), the measured distortion of the range-compressed image, together
+with an "entire dataset" fit and a "worst-case" fit.  In the paper the
+distortion spans roughly 0..35% over that range and decreases monotonically
+as the target range grows.
+
+The benchmark rebuilds the characterization on the synthetic suite and checks
+those shapes, plus the property the HEBS flow depends on: inverting the curve
+yields a dynamic range whose predicted distortion meets the budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import figure7_distortion_curve
+
+
+@pytest.mark.paper_experiment("fig7")
+def test_figure7_distortion_curve(benchmark, suite):
+    series = benchmark.pedantic(figure7_distortion_curve, rounds=1, iterations=1)
+    curve = series["curve"]
+
+    print()
+    print("dynamic range -> distortion (dataset fit / worst-case fit):")
+    for target in (50, 100, 150, 200, 250):
+        print(f"  {target:3d} -> {float(curve.predict(target)):6.2f}% / "
+              f"{float(curve.predict(target, worst_case=True)):6.2f}%")
+    for budget in (5.0, 10.0, 20.0):
+        selected = curve.min_range_for_distortion(budget, worst_case=False)
+        print(f"  budget {budget:5.1f}% -> minimum admissible range {selected}")
+
+    # one sample per image per target range
+    assert series["sample_ranges"].shape[0] == len(suite) * 10
+
+    # distortion decreases monotonically with the target dynamic range
+    dataset_fit = series["dataset_fit"]
+    assert np.all(np.diff(dataset_fit) <= 1e-6)
+
+    # magnitudes: single digits at the top of the range, tens of percent at
+    # the bottom (the paper's Fig. 7 spans ~0..35%)
+    assert float(curve.predict(245)) < 10.0
+    assert 25.0 < float(curve.predict(50)) < 70.0
+
+    # the worst-case fit upper-bounds both the dataset fit and every sample
+    assert np.all(series["worstcase_fit"] >= dataset_fit - 1e-9)
+    ranges, distortions = curve.sample_arrays()
+    assert np.all(np.asarray(curve.predict(ranges, worst_case=True))
+                  >= distortions - 1e-6)
+
+    # inversion consistency: the selected range meets the budget it was
+    # selected for (dataset fit)
+    for budget in (5.0, 10.0, 20.0, 40.0):
+        selected = curve.min_range_for_distortion(budget, worst_case=False)
+        if selected < curve.levels - 1:
+            assert float(curve.predict(selected)) <= budget + 1e-6

@@ -1,0 +1,51 @@
+"""Benchmark: Figure 8 — sample images at fixed dynamic ranges 220 and 100.
+
+Fig. 8 shows six benchmark images transformed to dynamic ranges 220 and 100
+and annotates each with its distortion and power saving.  Paper regime:
+
+    dynamic range 220: distortion 0.9 - 3.1%, power saving 25 - 30%
+    dynamic range 100: distortion 5.1 - 10.2%, power saving 43 - 61%
+
+The reproduction checks the same qualitative picture on the synthetic
+stand-ins: mild distortion and ~quarter savings at R=220, markedly higher
+savings (at higher distortion) at R=100.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import figure8_sample_transforms
+
+
+@pytest.mark.paper_experiment("fig8")
+def test_figure8_sample_transforms(benchmark, pipeline):
+    table = benchmark.pedantic(figure8_sample_transforms,
+                               kwargs={"pipeline": pipeline},
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+    print("paper regime: R=220 -> ~1-3% distortion, 25-30% saving; "
+          "R=100 -> ~5-10% distortion, 43-61% saving")
+
+    rows_220 = [row for row in table.rows if row["dynamic_range"] == 220]
+    rows_100 = [row for row in table.rows if row["dynamic_range"] == 100]
+    assert len(rows_220) == len(rows_100) == 6
+
+    # R = 220: mild distortion, ~quarter of the display power saved
+    for row in rows_220:
+        assert row["distortion%"] < 15.0, row
+        assert 20.0 < row["power_saving%"] < 35.0, row
+        assert row["backlight_factor"] == pytest.approx(220 / 255, abs=0.01)
+
+    # R = 100: much larger savings at visibly higher distortion
+    for row in rows_100:
+        assert 45.0 < row["power_saving%"] < 65.0, row
+        assert row["backlight_factor"] == pytest.approx(100 / 255, abs=0.01)
+
+    # the trade-off moves the right way for every image
+    mean_dist_220 = np.mean([row["distortion%"] for row in rows_220])
+    mean_dist_100 = np.mean([row["distortion%"] for row in rows_100])
+    assert mean_dist_100 > mean_dist_220
+    mean_save_220 = np.mean([row["power_saving%"] for row in rows_220])
+    mean_save_100 = np.mean([row["power_saving%"] for row in rows_100])
+    assert mean_save_100 > mean_save_220 + 15.0

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Colour-LCD gallery: HEBS on RGB images with a shared per-channel transform.
+
+Sec. 2 of the paper notes that colour panels build each pixel from R/G/B
+sub-pixels driven through the *same* source-driver transfer function.  This
+example derives the HEBS transformation from the luminance histogram of a
+colour image and applies it per channel (exactly what the programmed
+reference voltages would do), then reports the per-channel dynamic ranges,
+the luminance distortion and the power saving.  It also contrasts the
+hardware-faithful per-channel mode with the hue-preserving luminance-scaled
+mode.
+
+Usage::
+
+    python examples/color_gallery.py [MAX_DISTORTION]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.bench.suite import benchmark_images, default_pipeline
+from repro.core.color import ColorHEBS
+from repro.imaging.image import Image
+
+
+def synthesize_color_gallery() -> dict[str, Image]:
+    """Deterministic RGB scenes built from the grayscale benchmark suite."""
+    gray = benchmark_images(names=("lena", "peppers", "autumn", "pout"))
+    gallery: dict[str, Image] = {}
+    tints = {
+        "lena": (1.05, 1.00, 0.90),       # warm portrait
+        "peppers": (1.10, 0.95, 0.75),    # red/green vegetables
+        "autumn": (1.15, 0.90, 0.70),     # orange foliage
+        "pout": (0.95, 1.00, 1.10),       # cool, dim indoor shot
+    }
+    rng = np.random.default_rng(2005)
+    for name, image in gray.items():
+        base = image.as_float()
+        red, green, blue = tints[name]
+        chroma = 0.05 * rng.standard_normal(base.shape)
+        rgb = np.stack([
+            np.clip(base * red + chroma, 0, 1),
+            np.clip(base * green, 0, 1),
+            np.clip(base * blue - chroma, 0, 1),
+        ], axis=2)
+        gallery[name] = Image.from_float(rgb, name=f"{name}-rgb")
+    return gallery
+
+
+def main(argv: list[str]) -> None:
+    budget = float(argv[1]) if len(argv) > 1 else 10.0
+    gallery = synthesize_color_gallery()
+    pipeline = default_pipeline()
+
+    print(f"distortion budget: {budget:.1f}%")
+    table = Table(
+        title="Colour gallery under HEBS (per-channel application)",
+        columns=("image", "backlight", "saving %", "luma distortion %",
+                 "R range", "G range", "B range"),
+    )
+    rows = []
+    for name, image in gallery.items():
+        result = ColorHEBS(pipeline).process_adaptive(image, budget)
+        r_range, g_range, b_range = result.channel_ranges()
+        rows.append({
+            "image": name,
+            "backlight": result.backlight_factor,
+            "saving %": result.power_saving_percent,
+            "luma distortion %": result.distortion,
+            "R range": r_range,
+            "G range": g_range,
+            "B range": b_range,
+        })
+    print(table.with_rows(rows).render())
+    print()
+
+    # compare the two application modes on one image
+    sample = gallery["peppers"]
+    per_channel = ColorHEBS(pipeline).process_with_range(sample, 150)
+    luminance_scaled = ColorHEBS(pipeline, mode="luminance_scaled") \
+        .process_with_range(sample, 150)
+
+    def mean_channel_ratio(image: Image) -> float:
+        values = image.as_float() + 1e-6
+        return float(np.median(values[:, :, 0] / values[:, :, 1]))
+
+    print("application-mode comparison on 'peppers' at dynamic range 150:")
+    print(f"  original red/green ratio        : {mean_channel_ratio(sample):.3f}")
+    print(f"  per-channel (hardware)          : "
+          f"{mean_channel_ratio(per_channel.transformed):.3f}")
+    print(f"  luminance-scaled (hue-preserving): "
+          f"{mean_channel_ratio(luminance_scaled.transformed):.3f}")
+    print("the per-channel mode slightly compresses colour ratios (the shared "
+          "transfer function treats every channel like luminance); the "
+          "luminance-scaled mode keeps hue at the cost of not being directly "
+          "realizable by the reference-voltage driver")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

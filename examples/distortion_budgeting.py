@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Build a distortion characteristic curve for a custom image set.
+
+The characteristic curve (paper Sec. 3 / Fig. 7) is what makes HEBS cheap at
+run time: the expensive distortion evaluation is done once, offline, over a
+benchmark set, and the pipeline then only needs a curve lookup per frame.
+This example shows the offline half of that story:
+
+1. characterize a chosen set of images (built-in benchmarks by default, or
+   every ``.pgm``/``.ppm``/``.csv`` file in a directory you pass),
+2. print the distortion-vs-dynamic-range table with the dataset and
+   worst-case fits, and
+3. show which dynamic range / backlight factor a few distortion budgets map
+   to under each fit.
+
+Usage::
+
+    python examples/distortion_budgeting.py [IMAGE_DIR] [MEASURE]
+
+``MEASURE`` is one of the registered distortion measures (``effective``,
+``uqi``, ``ssim``, ``rmse``, ``saturation``, ``contrast``, ``histogram``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.reporting import Table
+from repro.bench.suite import benchmark_images
+from repro.core.distortion_curve import build_distortion_curve
+from repro.core.pipeline import HEBS
+from repro.imaging.io import read_image
+from repro.quality.distortion import available_measures
+
+
+def load_images(directory: str | None):
+    """Images from a directory of files, or the built-in suite."""
+    if directory is None:
+        return benchmark_images()
+    root = Path(directory)
+    paths = sorted(p for p in root.iterdir()
+                   if p.suffix.lower() in (".pgm", ".ppm", ".pnm", ".csv"))
+    if not paths:
+        raise SystemExit(f"no .pgm/.ppm/.csv images found in {root}")
+    return {path.stem: read_image(path) for path in paths}
+
+
+def main(argv: list[str]) -> None:
+    directory = argv[1] if len(argv) > 1 else None
+    measure = argv[2] if len(argv) > 2 else "effective"
+    if measure not in available_measures():
+        raise SystemExit(f"unknown measure {measure!r}; "
+                         f"choose from {available_measures()}")
+
+    images = load_images(directory)
+    print(f"characterizing {len(images)} images with the {measure!r} measure ...")
+    curve = build_distortion_curve(images, measure=measure)
+
+    ranges = sorted({sample.target_range for sample in curve.samples})
+    table = Table(
+        title="Distortion characteristic curve (percent distortion)",
+        columns=("dynamic range", "dataset fit", "worst-case fit",
+                 "sample min", "sample max"),
+    )
+    rows = []
+    for target_range in ranges:
+        samples = [s.distortion for s in curve.samples
+                   if s.target_range == target_range]
+        rows.append({
+            "dynamic range": target_range,
+            "dataset fit": float(curve.predict(target_range)),
+            "worst-case fit": float(curve.predict(target_range, worst_case=True)),
+            "sample min": min(samples),
+            "sample max": max(samples),
+        })
+    print(table.with_rows(rows).render())
+    print()
+
+    pipeline = HEBS(curve)
+    budgets = (2.0, 5.0, 10.0, 20.0, 30.0)
+    budget_table = Table(
+        title="Budget -> minimum admissible dynamic range -> backlight factor",
+        columns=("budget %", "range (dataset fit)", "beta (dataset fit)",
+                 "range (worst case)", "beta (worst case)"),
+        precision=3,
+    )
+    budget_rows = []
+    for budget in budgets:
+        dataset_range = curve.min_range_for_distortion(budget, worst_case=False)
+        worst_range = curve.min_range_for_distortion(budget, worst_case=True)
+        budget_rows.append({
+            "budget %": budget,
+            "range (dataset fit)": dataset_range,
+            "beta (dataset fit)": pipeline.backlight_factor_for_range(dataset_range),
+            "range (worst case)": worst_range,
+            "beta (worst case)": pipeline.backlight_factor_for_range(worst_range),
+        })
+    print(budget_table.with_rows(budget_rows).render())
+    print()
+    print("note: the worst-case fit guarantees the budget for every "
+          "characterized image, at the cost of much less dimming; the "
+          "dataset fit budgets for the average image (the paper plots both).")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,59 @@
+"""HEBS: Histogram Equalization for Backlight Scaling — full reproduction.
+
+This package reproduces Iranli, Fatemi & Pedram, *"HEBS: Histogram
+Equalization for Backlight Scaling"*, DATE 2005: a technique that dims the
+CCFL backlight of a transmissive TFT-LCD and compensates with a
+histogram-equalizing pixel transformation realized by the LCD
+reference-voltage driver, subject to a user-specified distortion budget.
+
+Sub-packages
+------------
+``repro.core``
+    The HEBS algorithm: histograms, global histogram equalization, piecewise
+    linear coarsening, the distortion characteristic curve and the end-to-end
+    pipeline.
+``repro.imaging``
+    Image containers, pixel operations, PGM/PPM/CSV I/O and the synthetic
+    benchmark suite standing in for USC-SIPI.
+``repro.quality``
+    Distortion measures: UQI, SSIM, RMSE/PSNR, saturation percentage,
+    contrast fidelity, and the paper's HVS-weighted effective distortion.
+``repro.display``
+    Behavioural hardware models: CCFL backlight, TFT panel, reference-voltage
+    drivers (conventional and hierarchical), LCD controller, power accounting.
+``repro.baselines``
+    The prior techniques HEBS is compared with: DLS (brightness / contrast
+    compensation) and CBCS (single-band grayscale spreading).
+``repro.analysis``
+    Regression fits, parameter sweeps and table/series rendering.
+``repro.bench``
+    The experiment harness: one callable per paper table / figure.
+
+Quickstart
+----------
+>>> from repro import bench, imaging
+>>> pipeline = bench.default_pipeline()
+>>> image = imaging.load_benchmark("lena")
+>>> result = pipeline.process(image, max_distortion=10.0)
+>>> round(result.backlight_factor, 2) <= 1.0
+True
+"""
+
+from repro import analysis, baselines, bench, core, display, imaging, quality
+from repro.core.pipeline import HEBS, HEBSConfig, HEBSResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "baselines",
+    "bench",
+    "core",
+    "display",
+    "imaging",
+    "quality",
+    "HEBS",
+    "HEBSConfig",
+    "HEBSResult",
+    "__version__",
+]

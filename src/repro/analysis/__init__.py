@@ -1,0 +1,44 @@
+"""Analysis utilities: curve fitting, parameter sweeps and report rendering.
+
+The paper's characterization section (Sec. 5.1) uses "standard curve fitting
+tools provided in MATLAB" and "standard regression analysis techniques".
+:mod:`~repro.analysis.regression` reproduces the fits it needs (linear,
+polynomial, two-piece linear with a free knee, and upper-envelope fits) with
+plain least squares on numpy.  :mod:`~repro.analysis.sweep` provides a small
+parameter-sweep harness used by the experiments, and
+:mod:`~repro.analysis.reporting` renders the paper-style tables and series as
+text/CSV so benchmark output can be compared against the paper row by row.
+"""
+
+from repro.analysis.regression import (
+    LinearFit,
+    PolynomialFit,
+    TwoPieceLinearFit,
+    fit_linear,
+    fit_polynomial,
+    fit_two_piece_linear,
+    upper_envelope_shift,
+)
+from repro.analysis.sweep import SweepResult, sweep
+from repro.analysis.reporting import (
+    format_table,
+    format_series,
+    table_to_csv,
+    Table,
+)
+
+__all__ = [
+    "LinearFit",
+    "PolynomialFit",
+    "TwoPieceLinearFit",
+    "fit_linear",
+    "fit_polynomial",
+    "fit_two_piece_linear",
+    "upper_envelope_shift",
+    "SweepResult",
+    "sweep",
+    "format_table",
+    "format_series",
+    "table_to_csv",
+    "Table",
+]

@@ -1,0 +1,165 @@
+"""Least-squares fitting helpers used by the characterization experiments.
+
+Three fits appear in the paper's Sec. 5:
+
+* a **two-piece linear** fit with a free knee for the CCFL power model
+  (Eq. 11 / Fig. 6a),
+* a **quadratic** fit for the panel power model (Eq. 12 / Fig. 6b),
+* polynomial **average** and **worst-case** fits of the distortion
+  characteristic curve (Fig. 7).
+
+These are all ordinary least squares; the MATLAB toolbox the authors used is
+replaced by numpy's ``lstsq``/``polyfit``.  Each fit returns a small frozen
+dataclass that can predict, report its coefficients, and compute residual
+statistics, so the figure experiments can check that re-fitting simulated
+measurements recovers the published coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "LinearFit",
+    "PolynomialFit",
+    "TwoPieceLinearFit",
+    "fit_linear",
+    "fit_polynomial",
+    "fit_two_piece_linear",
+    "upper_envelope_shift",
+]
+
+
+def _validate_xy(x: np.ndarray, y: np.ndarray, minimum: int) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    y = np.asarray(y, dtype=np.float64).reshape(-1)
+    if x.size != y.size:
+        raise ValueError("x and y must have the same length")
+    if x.size < minimum:
+        raise ValueError(f"need at least {minimum} points, got {x.size}")
+    return x, y
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A straight-line fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    rmse: float = 0.0
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Fitted value(s) at ``x``."""
+        result = self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+        return float(result) if np.isscalar(x) else result
+
+
+@dataclass(frozen=True)
+class PolynomialFit:
+    """A polynomial fit ``y = c0 + c1 x + c2 x^2 + ...`` (increasing powers)."""
+
+    coefficients: tuple[float, ...]
+    rmse: float = 0.0
+
+    @property
+    def degree(self) -> int:
+        """Degree of the fitted polynomial."""
+        return len(self.coefficients) - 1
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Fitted value(s) at ``x``."""
+        x_array = np.asarray(x, dtype=np.float64)
+        powers = np.vander(np.atleast_1d(x_array), len(self.coefficients),
+                           increasing=True)
+        result = powers @ np.asarray(self.coefficients)
+        return float(result[0]) if np.isscalar(x) else result
+
+
+@dataclass(frozen=True)
+class TwoPieceLinearFit:
+    """Two line segments joined at a knee (the Eq. 11 CCFL model shape).
+
+    ``y = lower.slope * x + lower.intercept`` for ``x <= knee`` and
+    ``y = upper.slope * x + upper.intercept`` for ``x > knee``.
+    """
+
+    knee: float
+    lower: LinearFit
+    upper: LinearFit
+    rmse: float = 0.0
+
+    def predict(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Fitted value(s) at ``x``."""
+        x_array = np.asarray(x, dtype=np.float64)
+        result = np.where(x_array <= self.knee,
+                          self.lower.slope * x_array + self.lower.intercept,
+                          self.upper.slope * x_array + self.upper.intercept)
+        return float(result) if np.isscalar(x) else result
+
+
+def fit_linear(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """Ordinary least-squares straight-line fit."""
+    x, y = _validate_xy(x, y, minimum=2)
+    design = np.column_stack([x, np.ones_like(x)])
+    (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    residual = y - (slope * x + intercept)
+    return LinearFit(float(slope), float(intercept),
+                     float(np.sqrt(np.mean(residual**2))))
+
+
+def fit_polynomial(x: np.ndarray, y: np.ndarray, degree: int) -> PolynomialFit:
+    """Ordinary least-squares polynomial fit of the given degree."""
+    if degree < 1:
+        raise ValueError("degree must be at least 1")
+    x, y = _validate_xy(x, y, minimum=degree + 1)
+    design = np.vander(x, degree + 1, increasing=True)
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    residual = y - design @ coefficients
+    return PolynomialFit(tuple(float(c) for c in coefficients),
+                         float(np.sqrt(np.mean(residual**2))))
+
+
+def fit_two_piece_linear(x: np.ndarray, y: np.ndarray,
+                         min_points_per_piece: int = 3) -> TwoPieceLinearFit:
+    """Two-piece linear fit with the knee chosen by exhaustive search.
+
+    Every admissible split of the (sorted) data into a lower and an upper
+    piece is tried; each piece gets its own least-squares line and the split
+    with the smallest total squared residual wins.  This mirrors how the
+    paper extracts the CCFL saturation knee ``C_s`` from the measurement of
+    Fig. 6a.
+    """
+    x, y = _validate_xy(x, y, minimum=2 * min_points_per_piece)
+    order = np.argsort(x)
+    x, y = x[order], y[order]
+
+    best: tuple[float, LinearFit, LinearFit, float] | None = None
+    for split in range(min_points_per_piece, x.size - min_points_per_piece + 1):
+        lower = fit_linear(x[:split], y[:split])
+        upper = fit_linear(x[split:], y[split:])
+        residual_low = y[:split] - np.asarray(lower.predict(x[:split]))
+        residual_high = y[split:] - np.asarray(upper.predict(x[split:]))
+        total = float(np.sum(residual_low**2) + np.sum(residual_high**2))
+        if best is None or total < best[3]:
+            knee = float(0.5 * (x[split - 1] + x[split]))
+            best = (knee, lower, upper, total)
+
+    assert best is not None  # guaranteed by the minimum-size validation
+    knee, lower, upper, total = best
+    rmse = float(np.sqrt(total / x.size))
+    return TwoPieceLinearFit(knee, lower, upper, rmse)
+
+
+def upper_envelope_shift(x: np.ndarray, y: np.ndarray,
+                         fit: PolynomialFit | LinearFit) -> float:
+    """Constant shift that makes ``fit`` dominate every sample.
+
+    The paper's "worst-case fit" of Fig. 7 is an envelope above all measured
+    distortion values; adding the returned shift to the fit's constant term
+    (or intercept) produces such an envelope.
+    """
+    x, y = _validate_xy(x, y, minimum=1)
+    residuals = y - np.asarray(fit.predict(x))
+    return float(max(residuals.max(), 0.0))

@@ -1,0 +1,123 @@
+"""Rendering of paper-style tables and data series.
+
+The benchmark harness prints the same rows and series the paper reports
+(Table 1, the Fig. 6/7 curves, the Fig. 8 annotations) so a reader can put
+the reproduction's output next to the published numbers.  This module keeps
+that formatting in one place: fixed-width text tables, aligned series dumps
+and CSV export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["Table", "format_table", "format_series", "table_to_csv"]
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Table:
+    """A simple column-ordered table.
+
+    Attributes
+    ----------
+    title:
+        Heading printed above the table.
+    columns:
+        Column names, in display order.
+    rows:
+        One mapping per row; missing cells render as ``-``.
+    precision:
+        Number of decimal places used for float cells.
+    """
+
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[Mapping[str, Any], ...] = field(default=())
+    precision: int = 2
+
+    def with_row(self, **values: Any) -> "Table":
+        """A copy of the table with one more row appended."""
+        return Table(self.title, self.columns, self.rows + (dict(values),),
+                     self.precision)
+
+    def with_rows(self, rows: Iterable[Mapping[str, Any]]) -> "Table":
+        """A copy of the table with several rows appended."""
+        return Table(self.title, self.columns,
+                     self.rows + tuple(dict(row) for row in rows),
+                     self.precision)
+
+    def column_values(self, name: str) -> list[Any]:
+        """All values in one column (missing cells omitted)."""
+        return [row[name] for row in self.rows if name in row]
+
+    def render(self) -> str:
+        """Render as fixed-width text (see :func:`format_table`)."""
+        return format_table(self)
+
+    def to_csv(self) -> str:
+        """Render as CSV (see :func:`table_to_csv`)."""
+        return table_to_csv(self)
+
+
+def format_table(table: Table) -> str:
+    """Render a :class:`Table` as aligned fixed-width text."""
+    header = list(table.columns)
+    body = [
+        [_format_cell(row.get(column, "-"), table.precision) for column in header]
+        for row in table.rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = []
+    if table.title:
+        lines.append(table.title)
+    lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in body:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(header))))
+    return "\n".join(lines)
+
+
+def format_series(name: str, x: Sequence[float], y: Sequence[float],
+                  x_label: str = "x", y_label: str = "y",
+                  precision: int = 3) -> str:
+    """Render an (x, y) data series as aligned two-column text.
+
+    Used for the figure experiments (Fig. 6a/6b/7): the series printed here
+    are the points a plot of the figure would show.
+    """
+    if len(x) != len(y):
+        raise ValueError("x and y series must have the same length")
+    table = Table(
+        title=name,
+        columns=(x_label, y_label),
+        precision=precision,
+    ).with_rows({x_label: float(a), y_label: float(b)} for a, b in zip(x, y))
+    return format_table(table)
+
+
+def table_to_csv(table: Table) -> str:
+    """Render a :class:`Table` as CSV text (header row + data rows)."""
+    def escape(cell: str) -> str:
+        if "," in cell or '"' in cell:
+            return '"' + cell.replace('"', '""') + '"'
+        return cell
+
+    lines = [",".join(escape(column) for column in table.columns)]
+    for row in table.rows:
+        lines.append(",".join(
+            escape(_format_cell(row.get(column, ""), table.precision))
+            for column in table.columns
+        ))
+    return "\n".join(lines)

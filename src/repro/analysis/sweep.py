@@ -1,0 +1,112 @@
+"""A small parameter-sweep harness shared by the experiments.
+
+Each paper experiment is a sweep: over benchmark images and distortion levels
+(Table 1), over target dynamic ranges (Fig. 7), over backlight factors
+(Fig. 6a) or over PLC segment counts (the ablations).  :func:`sweep` runs a
+callable over the cartesian product of named parameter grids and collects the
+results into a :class:`SweepResult` that can be filtered, aggregated and
+rendered as a table.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The outcome of a parameter sweep.
+
+    Attributes
+    ----------
+    parameters:
+        Names of the swept parameters, in sweep order.
+    records:
+        One dictionary per evaluated point containing the parameter values
+        plus every key returned by the sweep function.
+    """
+
+    parameters: tuple[str, ...]
+    records: tuple[Mapping[str, Any], ...] = field(repr=False)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def column(self, key: str) -> list[Any]:
+        """All values of one result/parameter column, in sweep order."""
+        missing = [i for i, record in enumerate(self.records) if key not in record]
+        if missing:
+            raise KeyError(f"column {key!r} missing from records {missing[:3]}")
+        return [record[key] for record in self.records]
+
+    def where(self, **conditions: Any) -> "SweepResult":
+        """Filter records by exact parameter/result values."""
+        kept = tuple(
+            record for record in self.records
+            if all(record.get(key) == value for key, value in conditions.items())
+        )
+        return SweepResult(self.parameters, kept)
+
+    def mean(self, key: str) -> float:
+        """Mean of a numeric column."""
+        return float(np.mean(np.asarray(self.column(key), dtype=np.float64)))
+
+    def min(self, key: str) -> float:
+        """Minimum of a numeric column."""
+        return float(np.min(np.asarray(self.column(key), dtype=np.float64)))
+
+    def max(self, key: str) -> float:
+        """Maximum of a numeric column."""
+        return float(np.max(np.asarray(self.column(key), dtype=np.float64)))
+
+    def group_mean(self, group_key: str, value_key: str) -> dict[Any, float]:
+        """Mean of ``value_key`` within each distinct value of ``group_key``."""
+        groups: dict[Any, list[float]] = {}
+        for record in self.records:
+            groups.setdefault(record[group_key], []).append(float(record[value_key]))
+        return {key: float(np.mean(values)) for key, values in groups.items()}
+
+
+def sweep(function: Callable[..., Mapping[str, Any] | None],
+          **grids: Sequence[Any] | Iterable[Any]) -> SweepResult:
+    """Evaluate ``function`` over the cartesian product of parameter grids.
+
+    ``function`` is called with one keyword argument per grid and must return
+    a mapping of result values (or ``None`` to skip the point).  The returned
+    records contain both the parameter values and the results.
+
+    Example
+    -------
+    >>> result = sweep(lambda a, b: {"sum": a + b}, a=[1, 2], b=[10, 20])
+    >>> result.column("sum")
+    [11, 21, 12, 22]
+    """
+    if not grids:
+        raise ValueError("need at least one parameter grid")
+    names = tuple(grids)
+    value_lists = [list(grids[name]) for name in names]
+    for name, values in zip(names, value_lists):
+        if not values:
+            raise ValueError(f"parameter grid {name!r} is empty")
+
+    records: list[dict[str, Any]] = []
+    for combination in itertools.product(*value_lists):
+        parameters = dict(zip(names, combination))
+        outcome = function(**parameters)
+        if outcome is None:
+            continue
+        record = dict(parameters)
+        overlapping = set(record) & set(outcome)
+        if overlapping:
+            raise ValueError(
+                f"sweep function returned keys shadowing parameters: {overlapping}"
+            )
+        record.update(outcome)
+        records.append(record)
+    return SweepResult(names, tuple(records))

@@ -1,0 +1,31 @@
+"""Baseline backlight-scaling techniques the paper compares against.
+
+* :mod:`~repro.baselines.dls` — Dynamic backlight Luminance Scaling of
+  Chang, Choi & Shim (the paper's ref. [4]): backlight dimming with
+  brightness compensation (Eq. 2a) or contrast enhancement (Eq. 2b).
+* :mod:`~repro.baselines.cbcs` — Concurrent Brightness and Contrast Scaling
+  of Cheng & Pedram (ref. [5]): single-band grayscale spreading (Eq. 3).
+* :mod:`~repro.baselines.policy` — the shared distortion-constrained
+  dimming-policy machinery (perceived-image model and backlight search).
+
+All baselines expose the same ``optimize(image, max_distortion)`` interface
+returning a :class:`~repro.baselines.policy.BaselineResult`, so the
+comparison experiment can sweep methods uniformly.
+"""
+
+from repro.baselines.policy import (
+    BaselineResult,
+    perceived_image,
+    find_minimum_backlight,
+)
+from repro.baselines.dls import DLSBrightness, DLSContrast
+from repro.baselines.cbcs import CBCS
+
+__all__ = [
+    "BaselineResult",
+    "perceived_image",
+    "find_minimum_backlight",
+    "DLSBrightness",
+    "DLSContrast",
+    "CBCS",
+]

@@ -1,0 +1,119 @@
+"""Dynamic backlight Luminance Scaling (DLS) — the paper's ref. [4].
+
+Chang, Choi & Shim's DLS dims the backlight and compensates by adjusting the
+grayscale of the image, using one of two pixel transformation functions
+(paper Eq. 2a/2b, Fig. 2b/2c):
+
+* **Brightness compensation** — ``Phi(x, beta) = min(1, x + 1 - beta)``:
+  every pixel is shifted up by the lost luminance; pixels near white
+  saturate.
+* **Contrast enhancement** — ``Phi(x, beta) = min(1, x / beta)``: pixel
+  values are scaled so non-saturating pixels keep their original luminance;
+  pixels above ``beta`` saturate at white.
+
+The dimming policy picks the smallest ``beta`` whose distortion stays within
+the budget.  DLS's native distortion measure is the percentage of saturated
+pixels; for the apples-to-apples comparison of the paper (and the ``cmp15``
+experiment) the policy can also be run with the paper's effective-distortion
+measure — both are supported through the ``measure`` argument.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.policy import (
+    BaselineResult,
+    build_result,
+    find_minimum_backlight,
+    perceived_image,
+)
+from repro.core.transforms import GrayscaleShiftTransform, GrayscaleSpreadTransform
+from repro.display.power import DisplayPowerModel
+from repro.imaging.image import Image
+from repro.quality.distortion import DistortionMeasure, get_measure
+
+__all__ = ["DLSBrightness", "DLSContrast"]
+
+
+#: Measure names that the original papers evaluate on the *compensated*
+#: (displayed) image rather than on the perceived luminance: ref. [4] counts
+#: the pixels its compensation saturated, ref. [5] checks the contrast
+#: fidelity of the spread image.
+_NATIVE_DISPLAYED_MEASURES = ("saturation", "contrast")
+
+
+class _DLSBase:
+    """Shared policy logic of the two DLS variants."""
+
+    #: Name reported in results; overridden by the concrete variants.
+    method_name = "dls"
+
+    def __init__(self, measure: str | DistortionMeasure = "effective",
+                 power_model: DisplayPowerModel | None = None,
+                 min_factor: float = 0.05, search_tolerance: float = 1e-3,
+                 compare_displayed: bool | None = None) -> None:
+        self.measure: DistortionMeasure = (
+            get_measure(measure) if isinstance(measure, str) else measure)
+        self.power_model = power_model or DisplayPowerModel()
+        self.min_factor = float(min_factor)
+        self.search_tolerance = float(search_tolerance)
+        if compare_displayed is None:
+            compare_displayed = (isinstance(measure, str)
+                                 and measure.lower() in _NATIVE_DISPLAYED_MEASURES)
+        #: Whether the policy's distortion is evaluated on the displayed
+        #: (compensated) image, as the native measures of refs. [4]/[5] are,
+        #: instead of on the perceived luminance.
+        self.compare_displayed = bool(compare_displayed)
+
+    # -- to be provided by the variants --------------------------------- #
+    def transform_for(self, beta: float):
+        """The pixel transformation used at backlight factor ``beta``."""
+        raise NotImplementedError
+
+    # -- policy ---------------------------------------------------------- #
+    def distortion_at(self, image: Image, beta: float) -> float:
+        """Distortion (percent) of displaying ``image`` dimmed to ``beta``."""
+        transform = self.transform_for(beta)
+        grayscale = image.to_grayscale()
+        if self.compare_displayed:
+            candidate = transform.apply(grayscale)
+        else:
+            candidate = perceived_image(grayscale, transform, beta,
+                                        self.power_model.panel.transmissivity)
+        return float(self.measure(grayscale, candidate))
+
+    def optimize(self, image: Image, max_distortion: float) -> BaselineResult:
+        """Pick the most aggressive dimming that respects the budget."""
+        grayscale = image.to_grayscale()
+        beta = find_minimum_backlight(
+            lambda candidate: self.distortion_at(grayscale, candidate),
+            max_distortion,
+            min_factor=self.min_factor,
+            tolerance=self.search_tolerance,
+        )
+        return build_result(
+            self.method_name, grayscale, self.transform_for(beta), beta,
+            self.measure, max_distortion, self.power_model)
+
+    def apply(self, image: Image, beta: float) -> BaselineResult:
+        """Run the technique at a fixed ``beta`` (no policy search)."""
+        return build_result(
+            self.method_name, image, self.transform_for(beta), beta,
+            self.measure, float("nan"), self.power_model)
+
+
+class DLSBrightness(_DLSBase):
+    """DLS with brightness compensation (Eq. 2a, Fig. 2b)."""
+
+    method_name = "dls-brightness"
+
+    def transform_for(self, beta: float) -> GrayscaleShiftTransform:
+        return GrayscaleShiftTransform(beta)
+
+
+class DLSContrast(_DLSBase):
+    """DLS with contrast enhancement (Eq. 2b, Fig. 2c)."""
+
+    method_name = "dls-contrast"
+
+    def transform_for(self, beta: float) -> GrayscaleSpreadTransform:
+        return GrayscaleSpreadTransform(beta)

@@ -1,0 +1,191 @@
+"""Shared machinery for distortion-constrained backlight dimming policies.
+
+Every backlight-scaling technique — the two DLS variants [4], CBCS [5] and
+HEBS itself — follows the same template (the paper's Dynamic Backlight
+Scaling problem, Sec. 3): pick a pixel transformation ``Phi(x, beta)`` and a
+backlight factor ``beta`` that minimize display power subject to a distortion
+budget.  What differs is the family of transformations and the distortion
+measure.  This module provides the shared pieces:
+
+* :func:`perceived_image` — what the observer actually sees: the normalized
+  luminance ``beta * t(Phi(x))`` re-expressed as an image, so that any
+  distortion measure can compare it against the original (the
+  transform-then-compare methodology of the paper's ref. [6]).
+* :func:`find_minimum_backlight` — a monotone search for the smallest
+  backlight factor whose distortion stays within budget.
+* :class:`BaselineResult` — the uniform result record the comparison
+  experiments consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.transforms import PixelTransform
+from repro.display.panel import TransmissivityModel
+from repro.display.power import DisplayPowerModel, PowerBreakdown
+from repro.imaging.image import Image
+from repro.quality.distortion import DistortionMeasure
+
+__all__ = ["BaselineResult", "perceived_image", "find_minimum_backlight"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of running one dimming technique on one image.
+
+    Attributes
+    ----------
+    method:
+        Human-readable technique name (``"dls-brightness"``, ``"cbcs"`` ...).
+    original:
+        The grayscale input image.
+    displayed:
+        The image written to the panel (original pixels through
+        ``Phi(x, beta)``, saturated to the representable range).
+    perceived:
+        The luminance the observer sees, re-expressed as an image (this is
+        what the distortion was measured on).
+    backlight_factor:
+        The chosen dimming factor ``beta``.
+    distortion:
+        Achieved distortion (percent) of ``perceived`` versus ``original``.
+    power, reference_power:
+        Display power with/without the technique.
+    max_distortion:
+        The budget the policy was asked to respect.
+    """
+
+    method: str
+    original: Image
+    displayed: Image
+    perceived: Image
+    backlight_factor: float
+    distortion: float
+    power: PowerBreakdown
+    reference_power: PowerBreakdown
+    max_distortion: float
+
+    @property
+    def power_saving(self) -> float:
+        """Fractional display-power saving versus the full-backlight original."""
+        return self.power.saving_versus(self.reference_power)
+
+    @property
+    def power_saving_percent(self) -> float:
+        """Power saving in percent."""
+        return 100.0 * self.power_saving
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary of the headline numbers."""
+        return {
+            "backlight_factor": self.backlight_factor,
+            "distortion_percent": self.distortion,
+            "power_saving_percent": self.power_saving_percent,
+        }
+
+
+def perceived_image(image: Image, transform: PixelTransform, beta: float,
+                    transmissivity: TransmissivityModel | None = None) -> Image:
+    """The image an observer perceives on a backlight-scaled display.
+
+    The emitted luminance of a pixel with original value ``x`` is
+    ``I = beta * t(Phi(x))`` (Eq. 1b).  Normalizing by the full-backlight
+    white level ``t(1)`` and mapping back to pixel levels gives an image in
+    the original domain that any quality metric can compare against the
+    original (whose perceived image is ``t(x) / t(1) = x`` for the ideal
+    transmissivity).
+    """
+    if not 0.0 < beta <= 1.0:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    transmissivity = transmissivity or TransmissivityModel()
+    grayscale = image.to_grayscale()
+    displayed_values = transform(grayscale.as_float())
+    luminance = beta * np.asarray(transmissivity.transmittance(displayed_values))
+    normalized = luminance / transmissivity.transmittance(1.0)
+    return Image.from_float(normalized, bit_depth=grayscale.bit_depth,
+                            name=f"{grayscale.name}:perceived")
+
+
+def find_minimum_backlight(
+    evaluate: Callable[[float], float],
+    max_distortion: float,
+    min_factor: float = 0.05,
+    tolerance: float = 1e-3,
+    coarse_steps: int = 20,
+) -> float:
+    """Smallest backlight factor whose distortion stays within the budget.
+
+    ``evaluate(beta)`` must return the distortion (percent) of the technique
+    at backlight factor ``beta``; it is assumed to be (weakly) decreasing in
+    ``beta`` — dimming less never hurts quality.  The search runs a coarse
+    grid pass to bracket the feasibility boundary followed by bisection down
+    to ``tolerance``.
+
+    Returns 1.0 if even full backlight violates the budget (which only
+    happens for a degenerate measure) and ``min_factor`` if the most
+    aggressive dimming already satisfies it.
+    """
+    if max_distortion < 0:
+        raise ValueError("max_distortion must be non-negative")
+    if not 0.0 < min_factor < 1.0:
+        raise ValueError("min_factor must be in (0, 1)")
+    if coarse_steps < 2:
+        raise ValueError("coarse_steps must be at least 2")
+
+    if evaluate(min_factor) <= max_distortion:
+        return min_factor
+    if evaluate(1.0) > max_distortion:
+        return 1.0
+
+    # coarse pass: find the first grid point that satisfies the budget
+    grid = np.linspace(min_factor, 1.0, coarse_steps)
+    feasible = 1.0
+    infeasible = min_factor
+    for beta in grid[1:]:
+        if evaluate(float(beta)) <= max_distortion:
+            feasible = float(beta)
+            break
+        infeasible = float(beta)
+
+    # bisection between the last infeasible and the first feasible point
+    while feasible - infeasible > tolerance:
+        middle = 0.5 * (feasible + infeasible)
+        if evaluate(middle) <= max_distortion:
+            feasible = middle
+        else:
+            infeasible = middle
+    return feasible
+
+
+def build_result(
+    method: str,
+    image: Image,
+    transform: PixelTransform,
+    beta: float,
+    measure: DistortionMeasure,
+    max_distortion: float,
+    power_model: DisplayPowerModel,
+) -> BaselineResult:
+    """Assemble a :class:`BaselineResult` for a chosen transform and ``beta``."""
+    grayscale = image.to_grayscale()
+    displayed = transform.apply(grayscale)
+    perceived = perceived_image(grayscale, transform, beta,
+                                power_model.panel.transmissivity)
+    distortion = float(measure(grayscale, perceived))
+    power = power_model.breakdown(displayed, beta)
+    reference = power_model.reference(grayscale)
+    return BaselineResult(
+        method=method,
+        original=grayscale,
+        displayed=displayed,
+        perceived=perceived,
+        backlight_factor=float(beta),
+        distortion=distortion,
+        power=power,
+        reference_power=reference,
+        max_distortion=float(max_distortion),
+    )

@@ -1,0 +1,89 @@
+"""Benchmark image registry and cached characterization artifacts.
+
+Every experiment needs the same two expensive-to-build objects:
+
+* the 19-image synthetic benchmark suite standing in for USC-SIPI, and
+* the distortion characteristic curve fitted on that suite (Fig. 7), which
+  the HEBS pipeline consults for every distortion budget.
+
+This module builds both lazily and caches them per (size, measure) so a
+pytest session or a benchmark run only pays for the characterization sweep
+once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.distortion_curve import (
+    DEFAULT_RANGE_GRID,
+    DistortionCharacteristicCurve,
+    build_distortion_curve,
+)
+from repro.core.pipeline import HEBS, HEBSConfig
+from repro.imaging.image import Image
+from repro.imaging.synthetic import benchmark_names, benchmark_suite
+
+__all__ = [
+    "benchmark_images",
+    "benchmark_names",
+    "default_curve",
+    "default_pipeline",
+    "clear_caches",
+    "DEFAULT_IMAGE_SIZE",
+]
+
+#: Image size used by the experiments.  128x128 keeps the full Table-1 sweep
+#: fast while leaving the histogram statistics (what HEBS consumes)
+#: essentially identical to larger renderings.
+DEFAULT_IMAGE_SIZE: tuple[int, int] = (128, 128)
+
+
+@lru_cache(maxsize=8)
+def _cached_suite(size: tuple[int, int]) -> dict[str, Image]:
+    return benchmark_suite(size=size)
+
+
+def benchmark_images(size: tuple[int, int] = DEFAULT_IMAGE_SIZE,
+                     names: tuple[str, ...] | None = None) -> dict[str, Image]:
+    """The synthetic benchmark suite as ``{name: Image}``.
+
+    ``names`` restricts the returned dictionary to a subset (order
+    preserved); by default all 19 Table-1 benchmarks are returned.
+    """
+    suite = _cached_suite(tuple(size))
+    if names is None:
+        return dict(suite)
+    missing = [name for name in names if name.lower() not in suite]
+    if missing:
+        raise KeyError(f"unknown benchmark names: {missing}")
+    return {name.lower(): suite[name.lower()] for name in names}
+
+
+@lru_cache(maxsize=8)
+def _cached_curve(size: tuple[int, int],
+                  measure: str) -> DistortionCharacteristicCurve:
+    return build_distortion_curve(
+        _cached_suite(size),
+        target_ranges=DEFAULT_RANGE_GRID,
+        measure=measure,
+    )
+
+
+def default_curve(size: tuple[int, int] = DEFAULT_IMAGE_SIZE,
+                  measure: str = "effective") -> DistortionCharacteristicCurve:
+    """The distortion characteristic curve fitted on the default suite."""
+    return _cached_curve(tuple(size), measure)
+
+
+def default_pipeline(size: tuple[int, int] = DEFAULT_IMAGE_SIZE,
+                     measure: str = "effective",
+                     config: HEBSConfig | None = None) -> HEBS:
+    """A ready-to-use HEBS pipeline characterized on the default suite."""
+    return HEBS(default_curve(size=size, measure=measure), config=config)
+
+
+def clear_caches() -> None:
+    """Drop the cached suite and curves (useful in long-lived processes)."""
+    _cached_suite.cache_clear()
+    _cached_curve.cache_clear()

@@ -1,0 +1,245 @@
+"""Command-line interface for the HEBS reproduction.
+
+Installed as ``python -m repro``; four subcommands cover the common
+workflows:
+
+``process``
+    Run HEBS on one image (a built-in benchmark name or a PGM/PPM/CSV file),
+    print the selected dynamic range / backlight factor / power saving, and
+    optionally write the transformed image.
+
+``characterize``
+    Build the distortion characteristic curve for a directory of images (or
+    the built-in suite) and print the Fig. 7 style table plus the budget →
+    range mapping.
+
+``experiment``
+    Re-run one of the paper experiments (``table1``, ``fig2`` ... ``fig8``,
+    ``comparison``, ``abl-m``, ``abl-dist``) and print the reproduced rows.
+
+``benchmarks``
+    List the built-in synthetic benchmark images with their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.reporting import Table
+from repro.bench import experiments as paper_experiments
+from repro.bench.suite import benchmark_images, default_pipeline
+from repro.core.distortion_curve import build_distortion_curve
+from repro.imaging.io import read_image, write_image
+from repro.imaging.synthetic import benchmark_names
+from repro.quality.distortion import available_measures
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment ids accepted by ``repro experiment`` mapped to their callables.
+_EXPERIMENTS = {
+    "table1": paper_experiments.table1_power_saving,
+    "fig2": paper_experiments.figure2_transform_functions,
+    "fig3": paper_experiments.figure3_kband_function,
+    "fig6a": paper_experiments.figure6a_ccfl_characterization,
+    "fig6b": paper_experiments.figure6b_panel_characterization,
+    "fig7": paper_experiments.figure7_distortion_curve,
+    "fig8": paper_experiments.figure8_sample_transforms,
+    "comparison": paper_experiments.comparison_vs_baselines,
+    "abl-m": paper_experiments.ablation_plc_segments,
+    "abl-dist": paper_experiments.ablation_distortion_measures,
+    "abl-eq": paper_experiments.ablation_equalization_methods,
+    "interface": paper_experiments.interface_encoding_study,
+}
+
+
+# --------------------------------------------------------------------- #
+# helpers
+# --------------------------------------------------------------------- #
+def _load_image(source: str):
+    if source.lower() in benchmark_names():
+        return benchmark_images(names=(source,))[source.lower()]
+    path = Path(source)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {source!r} is neither a benchmark name nor an existing file")
+    return read_image(path)
+
+
+def _print(text: str) -> None:
+    sys.stdout.write(text + "\n")
+
+
+# --------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------- #
+def _cmd_process(args: argparse.Namespace) -> int:
+    image = _load_image(args.image).to_grayscale()
+    pipeline = default_pipeline()
+    if args.adaptive:
+        result = pipeline.process_adaptive(image, args.budget)
+    else:
+        result = pipeline.process(image, args.budget)
+
+    table = Table(
+        title=f"HEBS on {args.image} (budget {args.budget:g}%)",
+        columns=("quantity", "value"),
+        precision=3,
+    ).with_rows([
+        {"quantity": "dynamic range", "value": result.target_range},
+        {"quantity": "backlight factor", "value": result.backlight_factor},
+        {"quantity": "achieved distortion %", "value": result.distortion},
+        {"quantity": "power saving %", "value": result.power_saving_percent},
+        {"quantity": "PLC segments", "value": result.coarse_curve.n_segments},
+        {"quantity": "PLC mse", "value": result.coarse_curve.mean_squared_error},
+    ])
+    _print(table.render())
+    _print("reference voltages (V): "
+           + ", ".join(f"{float(v):.3f}"
+                       for v in result.driver_program.reference_voltages))
+    if args.output:
+        write_image(result.transformed, args.output)
+        _print(f"transformed image written to {args.output}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    if args.directory:
+        root = Path(args.directory)
+        paths = sorted(p for p in root.iterdir()
+                       if p.suffix.lower() in (".pgm", ".ppm", ".pnm", ".csv"))
+        if not paths:
+            raise SystemExit(f"error: no supported images in {root}")
+        images = {path.stem: read_image(path) for path in paths}
+    else:
+        images = benchmark_images()
+    curve = build_distortion_curve(images, measure=args.measure)
+
+    ranges = sorted({sample.target_range for sample in curve.samples})
+    table = Table(
+        title=f"Distortion characteristic curve ({args.measure})",
+        columns=("dynamic range", "dataset fit %", "worst-case fit %"),
+    ).with_rows(
+        {
+            "dynamic range": target,
+            "dataset fit %": float(curve.predict(target)),
+            "worst-case fit %": float(curve.predict(target, worst_case=True)),
+        }
+        for target in ranges
+    )
+    _print(table.render())
+
+    budget_table = Table(
+        title="Budget -> minimum admissible dynamic range",
+        columns=("budget %", "range (dataset)", "range (worst case)"),
+    ).with_rows(
+        {
+            "budget %": budget,
+            "range (dataset)": curve.min_range_for_distortion(budget,
+                                                              worst_case=False),
+            "range (worst case)": curve.min_range_for_distortion(budget,
+                                                                 worst_case=True),
+        }
+        for budget in (2.0, 5.0, 10.0, 20.0, 30.0)
+    )
+    _print("")
+    _print(budget_table.render())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    runner = _EXPERIMENTS[args.id]
+    outcome = runner()
+    if isinstance(outcome, Table):
+        _print(outcome.render())
+    elif isinstance(outcome, dict):
+        for key, value in outcome.items():
+            if hasattr(value, "shape"):
+                _print(f"{key}: array{tuple(value.shape)}")
+            elif isinstance(value, dict):
+                _print(f"{key}: " + ", ".join(
+                    f"{inner}={float(v):.4f}" for inner, v in value.items()))
+            else:
+                _print(f"{key}: {value}")
+    else:   # pragma: no cover - defensive, all experiments return Table/dict
+        _print(repr(outcome))
+    return 0
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    del args
+    table = Table(
+        title="Built-in synthetic benchmark images (USC-SIPI stand-ins)",
+        columns=("name", "size", "mean", "std", "dynamic range"),
+        precision=1,
+    ).with_rows(
+        {
+            "name": name,
+            "size": f"{image.width}x{image.height}",
+            "mean": image.mean(),
+            "std": image.std(),
+            "dynamic range": image.dynamic_range(),
+        }
+        for name, image in benchmark_images().items()
+    )
+    _print(table.render())
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing and documentation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HEBS: Histogram Equalization for Backlight Scaling "
+                    "(DATE 2005) - reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    process = subparsers.add_parser(
+        "process", help="run HEBS on one image")
+    process.add_argument("image", help="benchmark name or image file path")
+    process.add_argument("--budget", type=float, default=10.0,
+                         help="maximum tolerable distortion in percent")
+    process.add_argument("--adaptive", action="store_true",
+                         help="select the dynamic range per image (bisection) "
+                              "instead of using the characteristic curve")
+    process.add_argument("--output", help="write the transformed image here")
+    process.set_defaults(func=_cmd_process)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="build a distortion characteristic curve")
+    characterize.add_argument("--directory",
+                              help="directory of .pgm/.ppm/.csv images "
+                                   "(default: the built-in suite)")
+    characterize.add_argument("--measure", default="effective",
+                              choices=available_measures(),
+                              help="distortion measure to characterize with")
+    characterize.set_defaults(func=_cmd_characterize)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="re-run one of the paper experiments")
+    experiment.add_argument("id", choices=sorted(_EXPERIMENTS),
+                            help="experiment identifier (see DESIGN.md §4)")
+    experiment.set_defaults(func=_cmd_experiment)
+
+    benchmarks = subparsers.add_parser(
+        "benchmarks", help="list the built-in benchmark images")
+    benchmarks.set_defaults(func=_cmd_benchmarks)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,241 @@
+"""The distortion characteristic curve — paper Sec. 3 and Sec. 5.1c, Fig. 7.
+
+The general dynamic-backlight-scaling problem is hard because the distortion
+function is complex.  The paper sidesteps it empirically: for every benchmark
+image, set the target dynamic range of the transformed image to a series of
+values, measure the resulting distortion, and fit a global curve mapping the
+target dynamic range to the expected ("entire dataset fit") and pessimistic
+("worst-case fit") distortion.  At run time the curve is *inverted*: given a
+distortion budget ``D_max``, look up the minimum admissible dynamic range
+``R`` — step 1 of the HEBS algorithm.
+
+:func:`build_distortion_curve` performs the sweep and the fits;
+:class:`DistortionCharacteristicCurve` holds the fitted model and provides
+``predict`` / ``min_range_for_distortion``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.equalization import equalize_histogram
+from repro.imaging.image import Image
+from repro.quality.distortion import DistortionMeasure, get_measure
+
+__all__ = [
+    "DistortionSample",
+    "DistortionCharacteristicCurve",
+    "build_distortion_curve",
+    "DEFAULT_RANGE_GRID",
+]
+
+#: The ten target dynamic ranges the paper sweeps (Sec. 5.1c uses "ten
+#: different values"; Fig. 7's x axis spans 50..250).
+DEFAULT_RANGE_GRID: tuple[int, ...] = (50, 72, 94, 116, 139, 161, 183, 205, 228, 250)
+
+
+@dataclass(frozen=True)
+class DistortionSample:
+    """One point of the characterization sweep.
+
+    Attributes
+    ----------
+    image_name:
+        Benchmark image the sample was measured on.
+    target_range:
+        Dynamic range ``R`` the image was compressed to.
+    distortion:
+        Measured distortion (percent) of the compressed image.
+    """
+
+    image_name: str
+    target_range: int
+    distortion: float
+
+
+def _design_matrix(ranges: np.ndarray, levels: int, degree: int) -> np.ndarray:
+    """Polynomial basis in the *compression amount* ``1 - R/(levels-1)``.
+
+    Using the compression amount (rather than ``R`` itself) as the regressor
+    makes the fitted curve pass near zero distortion at full range and grow
+    as the range shrinks, matching the shape of Fig. 7.
+    """
+    compression = 1.0 - ranges / float(levels - 1)
+    return np.vander(compression, degree + 1, increasing=True)
+
+
+@dataclass(frozen=True)
+class DistortionCharacteristicCurve:
+    """Fitted mapping between target dynamic range and expected distortion.
+
+    Attributes
+    ----------
+    dataset_coefficients:
+        Polynomial coefficients (in the compression-amount basis) of the
+        "entire dataset" fit of Fig. 7.
+    worstcase_coefficients:
+        Coefficients of the "worst-case" fit: the dataset fit shifted and
+        rescaled so it upper-bounds every measured sample.
+    levels:
+        Number of grayscale levels of the characterized display.
+    samples:
+        The raw sweep samples (kept for plotting / re-fitting).
+    measure_name:
+        Name of the distortion measure the sweep used.
+    """
+
+    dataset_coefficients: tuple[float, ...]
+    worstcase_coefficients: tuple[float, ...]
+    levels: int = 256
+    samples: tuple[DistortionSample, ...] = field(default=(), repr=False)
+    measure_name: str = "effective"
+
+    def __post_init__(self) -> None:
+        if len(self.dataset_coefficients) != len(self.worstcase_coefficients):
+            raise ValueError("both fits must use the same polynomial degree")
+        if len(self.dataset_coefficients) < 2:
+            raise ValueError("need at least a linear fit (two coefficients)")
+        if self.levels < 2:
+            raise ValueError("levels must be at least 2")
+
+    # ------------------------------------------------------------------ #
+    def _predict(self, coefficients: Sequence[float],
+                 target_range: float | np.ndarray) -> np.ndarray:
+        ranges = np.asarray(target_range, dtype=np.float64)
+        basis = _design_matrix(np.atleast_1d(ranges), self.levels,
+                               len(coefficients) - 1)
+        predicted = basis @ np.asarray(coefficients)
+        return np.maximum(predicted, 0.0)
+
+    def predict(self, target_range: float | np.ndarray,
+                worst_case: bool = False) -> float | np.ndarray:
+        """Expected distortion (percent) at a target dynamic range.
+
+        ``worst_case=True`` evaluates the pessimistic envelope instead of
+        the dataset-average fit.
+        """
+        coefficients = (self.worstcase_coefficients if worst_case
+                        else self.dataset_coefficients)
+        predicted = self._predict(coefficients, target_range)
+        if np.isscalar(target_range):
+            return float(predicted[0])
+        return predicted
+
+    def min_range_for_distortion(self, max_distortion: float,
+                                 worst_case: bool = True) -> int:
+        """Smallest dynamic range whose predicted distortion fits the budget.
+
+        This is step 1 of the HEBS flow (Fig. 4): the user-specified maximum
+        tolerable distortion is turned into the minimum admissible dynamic
+        range.  The worst-case fit is used by default so the budget is met
+        for every image the curve was characterized on; pass
+        ``worst_case=False`` to budget against the average behaviour.
+
+        Returns a range in ``[1, levels - 1]``; if even the full range is
+        predicted to exceed the budget the full range is returned (no
+        compression, no dimming).
+        """
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        candidate_ranges = np.arange(1, self.levels, dtype=np.float64)
+        predicted = np.asarray(self.predict(candidate_ranges, worst_case=worst_case))
+        # Enforce monotonicity of the decision: a range is admissible only if
+        # every larger range is admissible too, so the admissible set is an
+        # upper interval even if the raw polynomial wiggles.
+        tightest = np.maximum.accumulate(predicted[::-1])[::-1]
+        admissible = np.nonzero(tightest <= max_distortion)[0]
+        if admissible.size == 0:
+            return self.levels - 1
+        return int(candidate_ranges[admissible[0]])
+
+    def sample_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The sweep samples as ``(ranges, distortions)`` arrays."""
+        ranges = np.array([s.target_range for s in self.samples], dtype=np.float64)
+        distortions = np.array([s.distortion for s in self.samples], dtype=np.float64)
+        return ranges, distortions
+
+
+def build_distortion_curve(
+    images: Mapping[str, Image] | Iterable[Image],
+    target_ranges: Sequence[int] = DEFAULT_RANGE_GRID,
+    measure: str | DistortionMeasure = "effective",
+    degree: int = 3,
+    g_min: int = 0,
+) -> DistortionCharacteristicCurve:
+    """Characterize a benchmark set and fit the distortion curve (Fig. 7).
+
+    Parameters
+    ----------
+    images:
+        Benchmark images, either a ``{name: Image}`` mapping or an iterable
+        of (named) images.
+    target_ranges:
+        The dynamic ranges to sweep (the paper uses ten values).
+    measure:
+        Distortion measure name (see
+        :func:`repro.quality.distortion.available_measures`) or a callable.
+    degree:
+        Degree of the polynomial fit in the compression-amount basis.
+    g_min:
+        Lower grayscale limit of the equalization target; the upper limit is
+        ``g_min + R``.
+
+    Returns
+    -------
+    DistortionCharacteristicCurve
+        Fitted curve carrying all sweep samples.
+    """
+    if isinstance(images, Mapping):
+        named_images = list(images.items())
+    else:
+        named_images = [(image.name or f"image{i}", image)
+                        for i, image in enumerate(images)]
+    if not named_images:
+        raise ValueError("need at least one benchmark image")
+    if len(target_ranges) < 2:
+        raise ValueError("need at least two target ranges to fit a curve")
+
+    measure_fn = get_measure(measure) if isinstance(measure, str) else measure
+    measure_name = measure if isinstance(measure, str) else getattr(
+        measure, "__name__", "custom")
+
+    levels = named_images[0][1].levels
+    samples: list[DistortionSample] = []
+    for name, image in named_images:
+        grayscale = image.to_grayscale()
+        if grayscale.levels != levels:
+            raise ValueError("all benchmark images must share a bit depth")
+        for target_range in target_ranges:
+            target_range = int(target_range)
+            if not 1 <= target_range <= levels - 1 - g_min:
+                raise ValueError(
+                    f"target range {target_range} not realizable with g_min={g_min}"
+                )
+            result = equalize_histogram(grayscale, g_min, g_min + target_range)
+            transformed = result.apply(grayscale)
+            distortion = float(measure_fn(grayscale, transformed))
+            samples.append(DistortionSample(name, target_range, distortion))
+
+    ranges = np.array([s.target_range for s in samples], dtype=np.float64)
+    distortions = np.array([s.distortion for s in samples], dtype=np.float64)
+
+    basis = _design_matrix(ranges, levels, degree)
+    dataset_coefficients, *_ = np.linalg.lstsq(basis, distortions, rcond=None)
+
+    # Worst-case fit: shift the dataset fit upward until it dominates every
+    # sample (the paper's "worst-case" envelope of Fig. 7).
+    residuals = distortions - basis @ dataset_coefficients
+    shift = float(max(residuals.max(), 0.0))
+    worstcase_coefficients = np.array(dataset_coefficients, copy=True)
+    worstcase_coefficients[0] += shift
+
+    return DistortionCharacteristicCurve(
+        dataset_coefficients=tuple(float(c) for c in dataset_coefficients),
+        worstcase_coefficients=tuple(float(c) for c in worstcase_coefficients),
+        levels=levels,
+        samples=tuple(samples),
+        measure_name=measure_name,
+    )

@@ -1,0 +1,243 @@
+"""Image histograms: the statistic HEBS operates on — paper Sec. 2 and 4.
+
+"The image histogram simply denotes the marginal distribution function of
+the image pixel values" (Sec. 2).  HEBS needs three histogram objects:
+
+* :class:`Histogram` — the marginal distribution ``h(x)`` over grayscale
+  levels, with the usual summary statistics and the occupied dynamic range.
+* :class:`CumulativeHistogram` — ``H(x)``, used directly by the GHE solver
+  (Eq. 5: ``Phi(x) = U^{-1}(H(x))``).
+* :func:`uniform_cumulative` — the target cumulative histogram ``U`` of a
+  uniform distribution between ``g_min`` and ``g_max`` (Sec. 4, footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.image import Image
+
+__all__ = ["Histogram", "CumulativeHistogram", "uniform_cumulative"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Marginal distribution of pixel values over the grayscale levels.
+
+    Attributes
+    ----------
+    counts:
+        ``counts[x]`` is the number of pixels with value ``x``; the array
+        has one entry per representable level.
+    """
+
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if counts.ndim != 1 or counts.size < 2:
+            raise ValueError("histogram needs a 1-D array with >= 2 levels")
+        if np.any(counts < 0):
+            raise ValueError("histogram counts must be non-negative")
+        if counts.sum() == 0:
+            raise ValueError("histogram must contain at least one pixel")
+        counts.setflags(write=False)
+        object.__setattr__(self, "counts", counts)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def of_image(cls, image: Image) -> "Histogram":
+        """Histogram of the (grayscale) pixel values of ``image``.
+
+        RGB images are converted to luminance first, matching how the paper
+        derives a single transformation for colour panels.
+        """
+        grayscale = image.to_grayscale()
+        counts = np.bincount(grayscale.pixels.reshape(-1),
+                             minlength=grayscale.levels)
+        return cls(counts)
+
+    @classmethod
+    def from_probabilities(cls, probabilities: np.ndarray,
+                           n_pixels: int = 10000) -> "Histogram":
+        """Build a histogram from a probability mass function.
+
+        Useful in tests and synthetic studies: the PMF is scaled to
+        ``n_pixels`` pixels and rounded.
+        """
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if np.any(probabilities < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probabilities.sum()
+        if total <= 0:
+            raise ValueError("probabilities must sum to a positive value")
+        counts = np.rint(probabilities / total * n_pixels).astype(np.int64)
+        if counts.sum() == 0:
+            counts[int(np.argmax(probabilities))] = 1
+        return cls(counts)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def levels(self) -> int:
+        """Number of grayscale levels covered by the histogram."""
+        return int(self.counts.size)
+
+    @property
+    def n_pixels(self) -> int:
+        """Total number of pixels (``N`` in the paper's equations)."""
+        return int(self.counts.sum())
+
+    def probabilities(self) -> np.ndarray:
+        """Normalized histogram ``h(x) / N``."""
+        return self.counts.astype(np.float64) / self.n_pixels
+
+    def occupied_levels(self) -> np.ndarray:
+        """Indices of the grayscale levels with at least one pixel."""
+        return np.nonzero(self.counts)[0]
+
+    def min_level(self) -> int:
+        """Smallest occupied grayscale level."""
+        return int(self.occupied_levels()[0])
+
+    def max_level(self) -> int:
+        """Largest occupied grayscale level."""
+        return int(self.occupied_levels()[-1])
+
+    def dynamic_range(self) -> int:
+        """Occupied dynamic range ``max - min`` (the paper's ``R``)."""
+        return self.max_level() - self.min_level()
+
+    def mean(self) -> float:
+        """Mean pixel value implied by the histogram."""
+        levels = np.arange(self.levels)
+        return float(np.sum(levels * self.probabilities()))
+
+    def variance(self) -> float:
+        """Variance of the pixel values implied by the histogram."""
+        levels = np.arange(self.levels, dtype=np.float64)
+        mean = self.mean()
+        return float(np.sum(self.probabilities() * (levels - mean) ** 2))
+
+    def entropy(self) -> float:
+        """Shannon entropy of the pixel-value distribution, in bits.
+
+        A near-uniform histogram (high entropy) is the hard case for HEBS:
+        "every level is as important as the other and discarding any
+        grayscale level can cause a significant image distortion" (Sec. 3).
+        """
+        probabilities = self.probabilities()
+        nonzero = probabilities[probabilities > 0]
+        return float(-np.sum(nonzero * np.log2(nonzero)))
+
+    # ------------------------------------------------------------------ #
+    # conversions and comparisons
+    # ------------------------------------------------------------------ #
+    def cumulative(self) -> "CumulativeHistogram":
+        """The cumulative histogram ``H(x) = sum_{k <= x} h(k)``."""
+        return CumulativeHistogram(np.cumsum(self.counts))
+
+    def l1_distance(self, other: "Histogram") -> float:
+        """Normalized L1 distance between two histograms, in ``[0, 1]``."""
+        if self.levels != other.levels:
+            raise ValueError("histograms must cover the same number of levels")
+        return float(
+            0.5 * np.abs(self.probabilities() - other.probabilities()).sum()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return bool(np.array_equal(self.counts, other.counts))
+
+    def __hash__(self) -> int:
+        return hash(self.counts.tobytes())
+
+
+@dataclass(frozen=True)
+class CumulativeHistogram:
+    """Cumulative distribution ``H(x)``: number of pixels with value <= x."""
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 1 or values.size < 2:
+            raise ValueError("cumulative histogram needs a 1-D array with >= 2 levels")
+        if np.any(np.diff(values) < 0):
+            raise ValueError("cumulative histogram must be non-decreasing")
+        if values[-1] <= 0:
+            raise ValueError("cumulative histogram must end at a positive total")
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def levels(self) -> int:
+        """Number of grayscale levels covered."""
+        return int(self.values.size)
+
+    @property
+    def n_pixels(self) -> float:
+        """Total number of pixels ``N`` (the final cumulative value)."""
+        return float(self.values[-1])
+
+    def normalized(self) -> np.ndarray:
+        """``H(x) / N`` in ``[0, 1]``."""
+        return self.values / self.n_pixels
+
+    def marginal(self) -> Histogram:
+        """Recover the marginal histogram by first differences."""
+        counts = np.diff(self.values, prepend=0.0)
+        return Histogram(np.rint(counts).astype(np.int64))
+
+    def l1_distance(self, other: "CumulativeHistogram") -> float:
+        """Mean absolute difference of the normalized cumulative histograms.
+
+        This is (a discretization of) the GHE objective of Eq. (4): the
+        integral of ``|U(Phi(x)) - H(x)|`` over the grayscale domain.
+        """
+        if self.levels != other.levels:
+            raise ValueError("cumulative histograms must cover the same levels")
+        return float(np.mean(np.abs(self.normalized() - other.normalized())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CumulativeHistogram):
+            return NotImplemented
+        return bool(np.array_equal(self.values, other.values))
+
+    def __hash__(self) -> int:
+        return hash(self.values.tobytes())
+
+
+def uniform_cumulative(levels: int, n_pixels: float, g_min: int,
+                       g_max: int) -> CumulativeHistogram:
+    """Cumulative histogram of the uniform target distribution (footnote 3).
+
+    ``U(x) = 0`` for ``x < g_min``; ``U(x) = N (x - g_min) / (g_max - g_min)``
+    for ``g_min <= x <= g_max``; ``U(x) = N`` for ``x > g_max``.
+
+    Parameters
+    ----------
+    levels:
+        Number of grayscale levels of the display (256 for 8 bits).
+    n_pixels:
+        Total pixel count ``N`` of the image being equalized.
+    g_min, g_max:
+        Lower and upper limits of the uniform target; ``g_max - g_min`` is
+        the target dynamic range ``R``.
+    """
+    if not 0 <= g_min < g_max <= levels - 1:
+        raise ValueError(
+            f"need 0 <= g_min < g_max <= {levels - 1}, got ({g_min}, {g_max})"
+        )
+    if n_pixels <= 0:
+        raise ValueError("n_pixels must be positive")
+    x = np.arange(levels, dtype=np.float64)
+    ramp = n_pixels * (x - g_min) / float(g_max - g_min)
+    values = np.clip(ramp, 0.0, n_pixels)
+    return CumulativeHistogram(values)

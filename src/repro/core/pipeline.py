@@ -1,0 +1,351 @@
+"""The end-to-end HEBS pipeline — paper Fig. 4 and the 4-step algorithm of Sec. 1.
+
+Given an original image ``F`` and a maximum tolerable distortion ``D_max``:
+
+1. Look up the minimum admissible dynamic range ``R`` from the distortion
+   characteristic curve, and derive the optimum backlight scaling factor
+   ``beta`` from ``R`` and the panel transmissivity.
+2. Solve GHE: a transformation ``Phi`` mapping the original histogram to a
+   uniform histogram over ``[g_min, g_min + R]``.
+3. Coarsen ``Phi`` into a piecewise-linear ``Lambda`` with at most ``m``
+   segments (PLC) so the hierarchical reference driver can realize it.
+4. Apply ``Lambda`` to the image, program the driver's reference voltages
+   (Eq. 10) and dim the backlight to ``beta``.
+
+:class:`HEBS` packages these steps; :class:`HEBSResult` carries everything an
+experiment needs: the transformed image, the driver program, the achieved
+distortion and the power accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.distortion_curve import DistortionCharacteristicCurve
+from repro.core.equalization import GHEResult, equalize_histogram
+from repro.core.plc import (
+    PiecewiseLinearCurve,
+    coarsen_transform,
+    kband_spreading_function,
+)
+from repro.core.transforms import PiecewiseLinearTransform
+from repro.display.driver import DriverProgram, HierarchicalDriver
+from repro.display.power import DisplayPowerModel, PowerBreakdown
+from repro.imaging.image import Image
+from repro.quality.distortion import DistortionMeasure, get_measure
+
+__all__ = ["HEBSConfig", "HEBSResult", "HEBS"]
+
+
+@dataclass(frozen=True)
+class HEBSConfig:
+    """Tunable knobs of the HEBS pipeline.
+
+    Parameters
+    ----------
+    n_segments:
+        Number of linear segments of the coarsened transformation
+        ``Lambda`` — bounded by the number of controllable sources of the
+        hierarchical driver (Sec. 4.1).
+    g_min:
+        Lower limit of the equalization target range.  0 (the default)
+        maximizes backlight dimming because the compensated image then uses
+        the full voltage swing.
+    worst_case_curve:
+        Whether step 1 consults the worst-case fit (guaranteeing the budget
+        for every characterized image) or the dataset-average fit.  The
+        dataset fit is the default; the worst-case fit is markedly more
+        conservative because it is dominated by the hardest benchmark
+        (the synthetic test chart).
+    distortion_measure:
+        Name of the measure used to *report* the achieved distortion of a
+        result (the characteristic curve has its own measure).
+    driver_sources:
+        Number of controllable voltage sources of the hierarchical driver.
+    vdd:
+        Driver supply voltage.
+    """
+
+    n_segments: int = 8
+    g_min: int = 0
+    worst_case_curve: bool = False
+    distortion_measure: str = "effective"
+    driver_sources: int = 8
+    vdd: float = 3.3
+
+    def __post_init__(self) -> None:
+        if self.n_segments < 1:
+            raise ValueError("n_segments must be at least 1")
+        if self.g_min < 0:
+            raise ValueError("g_min must be non-negative")
+        if self.driver_sources < self.n_segments:
+            raise ValueError(
+                "the driver needs at least as many sources as the requested "
+                f"number of segments ({self.driver_sources} < {self.n_segments})"
+            )
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+
+
+@dataclass(frozen=True)
+class HEBSResult:
+    """Everything produced by one run of the HEBS pipeline on one image.
+
+    Attributes
+    ----------
+    original:
+        The (grayscale) input image ``F``.
+    transformed:
+        The image after applying the coarsened transformation ``Lambda``
+        (this is what sits in front of the dimmed backlight).
+    target_range:
+        The dynamic range ``R`` selected in step 1.
+    backlight_factor:
+        The dimming factor ``beta`` of step 1/4.
+    ghe:
+        The exact GHE solution (step 2).
+    coarse_curve:
+        The PLC solution (step 3) in grayscale-level coordinates.
+    transform:
+        ``Lambda`` as a normalized piecewise-linear transform.
+    driver_program:
+        The programmed reference voltages (Eq. 10).
+    distortion:
+        Achieved distortion (percent) measured between ``original`` and
+        ``transformed`` with the configured measure.
+    power:
+        Power breakdown of displaying ``transformed`` at ``beta``.
+    reference_power:
+        Power breakdown of displaying ``original`` at full backlight.
+    """
+
+    original: Image
+    transformed: Image
+    target_range: int
+    backlight_factor: float
+    ghe: GHEResult
+    coarse_curve: PiecewiseLinearCurve
+    transform: PiecewiseLinearTransform
+    driver_program: DriverProgram
+    distortion: float
+    power: PowerBreakdown
+    reference_power: PowerBreakdown
+    max_distortion: float | None = field(default=None)
+
+    @property
+    def power_saving(self) -> float:
+        """Fractional display-power saving versus the full-backlight original."""
+        return self.power.saving_versus(self.reference_power)
+
+    @property
+    def power_saving_percent(self) -> float:
+        """Power saving in percent (the Table-1 unit)."""
+        return 100.0 * self.power_saving
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary of the headline numbers (for reports/tests)."""
+        return {
+            "target_range": float(self.target_range),
+            "backlight_factor": self.backlight_factor,
+            "distortion_percent": self.distortion,
+            "power_saving_percent": self.power_saving_percent,
+            "plc_mse": self.coarse_curve.mean_squared_error,
+            "n_segments": float(self.coarse_curve.n_segments),
+        }
+
+
+class HEBS:
+    """Histogram Equalization for Backlight Scaling (the paper's algorithm).
+
+    Parameters
+    ----------
+    curve:
+        A fitted :class:`DistortionCharacteristicCurve` used to turn a
+        distortion budget into a minimum admissible dynamic range.  Build one
+        with :func:`repro.core.distortion_curve.build_distortion_curve` or
+        grab the pre-characterized one from
+        :func:`repro.bench.suite.default_curve`.
+    config:
+        Pipeline knobs; defaults follow the paper (8-segment PLC, g_min = 0,
+        worst-case curve).
+    power_model:
+        Display power model used for the power accounting (defaults to the
+        LP064V1 CCFL + panel).
+    """
+
+    def __init__(self, curve: DistortionCharacteristicCurve,
+                 config: HEBSConfig | None = None,
+                 power_model: DisplayPowerModel | None = None) -> None:
+        self.curve = curve
+        self.config = config or HEBSConfig()
+        self.power_model = power_model or DisplayPowerModel()
+        self.driver = HierarchicalDriver(
+            n_sources=self.config.driver_sources,
+            vdd=self.config.vdd,
+            levels=curve.levels,
+        )
+        self._measure: DistortionMeasure = get_measure(
+            self.config.distortion_measure)
+
+    # ------------------------------------------------------------------ #
+    # step 1: distortion budget -> dynamic range -> backlight factor
+    # ------------------------------------------------------------------ #
+    def select_range(self, max_distortion: float) -> int:
+        """Minimum admissible dynamic range for a distortion budget (step 1)."""
+        return self.curve.min_range_for_distortion(
+            max_distortion, worst_case=self.config.worst_case_curve)
+
+    def backlight_factor_for_range(self, target_range: int) -> float:
+        """Optimum backlight scaling factor for a target dynamic range.
+
+        The transformed image occupies ``[g_min, g_min + R]``; after the
+        Eq. (10) compensation the brightest programmed voltage corresponds to
+        level ``(g_min + R) / beta``, which must stay representable, so the
+        most aggressive dimming is ``beta = t(g_max) / t(max_level)``
+        (``= g_max / max_level`` for the ideal linear transmissivity).
+        """
+        levels = self.curve.levels
+        g_max = self.config.g_min + target_range
+        if not 0 < g_max <= levels - 1:
+            raise ValueError(
+                f"target range {target_range} with g_min={self.config.g_min} "
+                f"exceeds the display range"
+            )
+        transmissivity = self.power_model.panel.transmissivity
+        beta = transmissivity.backlight_for_range(g_max, levels)
+        return float(min(max(beta, 0.0), 1.0))
+
+    # ------------------------------------------------------------------ #
+    # steps 2-4
+    # ------------------------------------------------------------------ #
+    def process_with_range(self, image: Image, target_range: int,
+                           max_distortion: float | None = None) -> HEBSResult:
+        """Run steps 2-4 for an explicitly chosen dynamic range.
+
+        Used directly by the Fig. 8 experiment (which fixes R to 220 and
+        100) and internally by :meth:`process`.
+        """
+        grayscale = image.to_grayscale()
+        levels = grayscale.levels
+        if levels != self.curve.levels:
+            raise ValueError(
+                f"image has {levels} levels but the pipeline was characterized "
+                f"for {self.curve.levels}"
+            )
+        if not 1 <= target_range <= levels - 1 - self.config.g_min:
+            raise ValueError(
+                f"target range must be in [1, {levels - 1 - self.config.g_min}], "
+                f"got {target_range}"
+            )
+
+        beta = self.backlight_factor_for_range(target_range)
+        g_min = self.config.g_min
+        g_max = g_min + target_range
+
+        # step 2: exact GHE transformation
+        ghe = equalize_histogram(grayscale, g_min, g_max)
+
+        # step 3: piecewise linear coarsening
+        coarse = coarsen_transform(ghe.transform, self.config.n_segments)
+        transform = kband_spreading_function(coarse, levels=levels)
+
+        # step 4: apply Lambda, program the driver, dim the backlight
+        transformed = transform.apply(grayscale)
+        program = self.driver.program(
+            np.asarray(coarse.x), np.asarray(coarse.y), beta)
+
+        distortion = float(self._measure(grayscale, transformed))
+        power = self.power_model.breakdown(transformed, beta)
+        reference = self.power_model.reference(grayscale)
+
+        return HEBSResult(
+            original=grayscale,
+            transformed=transformed,
+            target_range=int(target_range),
+            backlight_factor=beta,
+            ghe=ghe,
+            coarse_curve=coarse,
+            transform=transform,
+            driver_program=program,
+            distortion=distortion,
+            power=power,
+            reference_power=reference,
+            max_distortion=max_distortion,
+        )
+
+    def process(self, image: Image, max_distortion: float) -> HEBSResult:
+        """Run the full HEBS flow for a distortion budget (steps 1-4).
+
+        Step 1 consults the global distortion characteristic curve, exactly
+        as in the paper's real-time flow (Fig. 4): the selected dynamic
+        range depends only on the budget, not on the particular image.  Use
+        :meth:`process_adaptive` to pick the range per image instead.
+        """
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        target_range = self.select_range(max_distortion)
+        return self.process_with_range(image, target_range,
+                                       max_distortion=max_distortion)
+
+    def process_adaptive(self, image: Image, max_distortion: float,
+                         range_tolerance: int = 2) -> HEBSResult:
+        """Run HEBS with per-image dynamic-range selection.
+
+        Instead of consulting the global characteristic curve, the smallest
+        dynamic range whose *measured* distortion (for this very image, with
+        the coarsened transform actually applied) stays within the budget is
+        found by bisection.  This is the offline/per-image variant implied by
+        the per-image spread of the paper's Table 1, and it is what the
+        Table-1 and comparison experiments use.
+
+        Parameters
+        ----------
+        image:
+            The image to transform.
+        max_distortion:
+            Distortion budget in percent.
+        range_tolerance:
+            Bisection stops when the feasible/infeasible bracket is this many
+            grayscale levels wide.
+
+        Returns
+        -------
+        HEBSResult
+            The result at the selected dynamic range.  If even the full
+            range exceeds the budget (pathological images under a very tight
+            budget) the full-range result is returned — no compression and
+            essentially no power saving, but never a budget violation that
+            could have been avoided.
+        """
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        if range_tolerance < 1:
+            raise ValueError("range_tolerance must be at least 1")
+        levels = self.curve.levels
+        full_range = levels - 1 - self.config.g_min
+
+        full_result = self.process_with_range(image, full_range,
+                                              max_distortion=max_distortion)
+        if full_result.distortion > max_distortion:
+            return full_result
+
+        low = 1                      # known (or assumed) infeasible
+        high = full_range            # known feasible
+        best = full_result
+        while high - low > range_tolerance:
+            middle = (low + high) // 2
+            candidate = self.process_with_range(image, middle,
+                                                max_distortion=max_distortion)
+            if candidate.distortion <= max_distortion:
+                high = middle
+                best = candidate
+            else:
+                low = middle
+        return best
+
+    def with_config(self, **changes) -> "HEBS":
+        """A copy of this pipeline with some configuration fields changed."""
+        return HEBS(self.curve, replace(self.config, **changes),
+                    self.power_model)

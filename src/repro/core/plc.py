@@ -1,0 +1,288 @@
+"""Piecewise Linear Coarsening (PLC) — paper Sec. 4.1, Eq. (8)-(9), Fig. 3.
+
+The exact GHE transformation ``Phi`` has one breakpoint per grayscale level
+(``O(|G|)`` segments), far too many for the reference-voltage driver.  The
+PLC problem asks for the best approximation ``Lambda`` with a given number of
+segments ``m``, where "best" means minimum mean squared error between the two
+curves and the approximation's breakpoints must be a subset of the original
+ones that keeps the first and last point (Eq. 8).
+
+The paper solves PLC with the dynamic program of Eq. (9):
+
+    E(n, m) = min_{j in 1..n-1} ( E(j, m-1) + e(j) )
+
+where ``e(j)`` is the squared error of replacing all original segments
+between breakpoint ``j`` and breakpoint ``n`` by the single chord from
+``p_j`` to ``p_n``.  The complexity is ``O(m n^2)``; the chord errors are
+precomputed in ``O(n^2)`` with prefix sums, so the whole solver is fast
+enough to run per frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.transforms import LUTTransform, PiecewiseLinearTransform
+
+__all__ = [
+    "PiecewiseLinearCurve",
+    "segment_error",
+    "chord_error_matrix",
+    "coarsen_curve",
+    "coarsen_transform",
+    "kband_spreading_function",
+]
+
+
+@dataclass(frozen=True)
+class PiecewiseLinearCurve:
+    """A piecewise-linear curve defined by its breakpoints.
+
+    Attributes
+    ----------
+    x, y:
+        Breakpoint coordinates; ``x`` strictly increasing.
+    mean_squared_error:
+        Mean squared error of this curve against the curve it approximates
+        (0 for an exact curve).
+    breakpoint_indices:
+        Indices into the original breakpoint set (Eq. 8's requirement that
+        ``Q`` is a subset of ``P``); empty tuple for curves not produced by
+        coarsening.
+    """
+
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    mean_squared_error: float = 0.0
+    breakpoint_indices: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=np.float64)
+        y = np.asarray(self.y, dtype=np.float64)
+        if x.ndim != 1 or y.ndim != 1 or x.size != y.size or x.size < 2:
+            raise ValueError("need matching 1-D breakpoint arrays with >= 2 points")
+        if np.any(np.diff(x) <= 0):
+            raise ValueError("x breakpoints must be strictly increasing")
+        if self.mean_squared_error < 0:
+            raise ValueError("mean squared error cannot be negative")
+        object.__setattr__(self, "x", tuple(float(v) for v in x))
+        object.__setattr__(self, "y", tuple(float(v) for v in y))
+
+    @property
+    def n_points(self) -> int:
+        """Number of breakpoints."""
+        return len(self.x)
+
+    @property
+    def n_segments(self) -> int:
+        """Number of linear segments (``n_points - 1``)."""
+        return len(self.x) - 1
+
+    def __call__(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the curve by linear interpolation (flat extrapolation)."""
+        result = np.interp(np.asarray(x, dtype=np.float64), self.x, self.y)
+        return float(result) if np.isscalar(x) else result
+
+    def slopes(self) -> np.ndarray:
+        """Slope of every segment."""
+        x = np.asarray(self.x)
+        y = np.asarray(self.y)
+        return np.diff(y) / np.diff(x)
+
+    def is_monotone(self) -> bool:
+        """Whether the curve is non-decreasing."""
+        return bool(np.all(np.diff(np.asarray(self.y)) >= -1e-12))
+
+    @classmethod
+    def from_lut(cls, lut: LUTTransform, levels: int | None = None
+                 ) -> "PiecewiseLinearCurve":
+        """Exact curve of a per-level LUT: one breakpoint per grayscale level.
+
+        ``x`` runs over the integer levels and ``y`` over the LUT outputs
+        scaled to levels (the set ``P`` of Eq. 8).
+        """
+        n = lut.levels if levels is None else levels
+        x = np.arange(n, dtype=np.float64)
+        y = np.asarray(lut.table, dtype=np.float64) * (n - 1)
+        return cls(tuple(x), tuple(y), 0.0, tuple(range(n)))
+
+
+def segment_error(x: Sequence[float], y: Sequence[float], start: int,
+                  end: int) -> float:
+    """Squared error of replacing points ``start..end`` by a single chord.
+
+    This is the paper's ``e(j)`` (with ``start = j`` and ``end = n``): the
+    chord runs from ``(x[start], y[start])`` to ``(x[end], y[end])`` and the
+    error is the sum of squared vertical deviations of the intermediate
+    original points from the chord.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if not 0 <= start < end < x.size:
+        raise ValueError(f"invalid chord indices ({start}, {end}) for {x.size} points")
+    xs, ys = x[start:end + 1], y[start:end + 1]
+    slope = (ys[-1] - ys[0]) / (xs[-1] - xs[0])
+    predicted = ys[0] + slope * (xs - xs[0])
+    return float(np.sum((ys - predicted) ** 2))
+
+
+def chord_error_matrix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """All-pairs chord errors ``err[i, j]`` for ``i < j`` in ``O(n^2)``.
+
+    Uses prefix sums of ``y``, ``y^2``, ``x``, ``x^2`` and ``x*y`` so each
+    entry costs O(1): with ``a_k = y_k - y_i`` and ``b_k = x_k - x_i`` the
+    chord error is ``sum a_k^2 - 2 s sum a_k b_k + s^2 sum b_k^2`` where
+    ``s`` is the chord slope.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = x.size
+    prefix = {
+        "y": np.concatenate([[0.0], np.cumsum(y)]),
+        "yy": np.concatenate([[0.0], np.cumsum(y * y)]),
+        "x": np.concatenate([[0.0], np.cumsum(x)]),
+        "xx": np.concatenate([[0.0], np.cumsum(x * x)]),
+        "xy": np.concatenate([[0.0], np.cumsum(x * y)]),
+    }
+
+    def window_sum(table: np.ndarray, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        # inclusive sum over indices i..j
+        return table[j + 1] - table[i]
+
+    i_index, j_index = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    valid = j_index > i_index
+    i_flat = i_index[valid]
+    j_flat = j_index[valid]
+
+    count = (j_flat - i_flat + 1).astype(np.float64)
+    sum_y = window_sum(prefix["y"], i_flat, j_flat)
+    sum_yy = window_sum(prefix["yy"], i_flat, j_flat)
+    sum_x = window_sum(prefix["x"], i_flat, j_flat)
+    sum_xx = window_sum(prefix["xx"], i_flat, j_flat)
+    sum_xy = window_sum(prefix["xy"], i_flat, j_flat)
+
+    x_i, y_i = x[i_flat], y[i_flat]
+    x_j, y_j = x[j_flat], y[j_flat]
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        slope = (y_j - y_i) / (x_j - x_i)
+
+        sum_a2 = sum_yy - 2.0 * y_i * sum_y + count * y_i * y_i
+        sum_b2 = sum_xx - 2.0 * x_i * sum_x + count * x_i * x_i
+        sum_ab = sum_xy - x_i * sum_y - y_i * sum_x + count * x_i * y_i
+
+        errors = sum_a2 - 2.0 * slope * sum_ab + slope * slope * sum_b2
+
+    # Adjacent breakpoints form a chord with no interior points: the error is
+    # exactly zero, but the formula above can produce 0 * inf = nan when two
+    # x values are almost coincident (huge slope).  Force the exact value.
+    errors = np.where(j_flat == i_flat + 1, 0.0, errors)
+    # Any other non-finite entry (overflowing slope across a near-duplicate
+    # abscissa) is treated as an unusable chord.
+    errors = np.where(np.isfinite(errors), errors, np.inf)
+
+    matrix = np.zeros((n, n), dtype=np.float64)
+    matrix[valid] = np.maximum(errors, 0.0)  # clamp tiny negative round-off
+    return matrix
+
+
+def coarsen_curve(curve: PiecewiseLinearCurve, n_segments: int
+                  ) -> PiecewiseLinearCurve:
+    """Solve the PLC problem: best subset approximation with <= ``n_segments``.
+
+    Implements the dynamic program of Eq. (9) with the endpoint constraints
+    of Eq. (8): the result keeps the first and last breakpoint of ``curve``,
+    selects its interior breakpoints from the original set, and minimizes the
+    summed squared vertical error at the original breakpoints.  The reported
+    error is the *mean* squared error over the original breakpoints (the
+    paper's objective).
+
+    One refinement over the paper's statement: the segment budget is treated
+    as an upper bound ("at most m") rather than an exact count.  Because the
+    approximation must pass through original breakpoints, forcing an extra
+    breakpoint can occasionally *increase* the error; the hardware constraint
+    (number of controllable voltage sources) is an upper bound anyway.
+    """
+    if n_segments < 1:
+        raise ValueError("need at least one segment")
+    x = np.asarray(curve.x, dtype=np.float64)
+    y = np.asarray(curve.y, dtype=np.float64)
+    n = x.size
+    if n_segments >= n - 1:
+        # The curve already has at most the requested number of segments.
+        return PiecewiseLinearCurve(curve.x, curve.y, 0.0,
+                                    tuple(range(n)))
+
+    errors = chord_error_matrix(x, y)
+
+    # cost[j, s]: minimal summed error covering breakpoints 0..j with exactly
+    # s chords ending at breakpoint j.
+    infinity = np.inf
+    cost = np.full((n, n_segments + 1), infinity)
+    parent = np.full((n, n_segments + 1), -1, dtype=np.int64)
+    cost[0, 0] = 0.0
+    for s in range(1, n_segments + 1):
+        previous = cost[:, s - 1]
+        # candidate[i, j] = cost of reaching i with s-1 chords + chord i->j
+        candidate = previous[:, None] + errors
+        candidate[np.tril_indices(n)] = infinity  # only i < j allowed
+        best_parent = np.argmin(candidate, axis=0)
+        best_cost = candidate[best_parent, np.arange(n)]
+        cost[:, s] = best_cost
+        parent[:, s] = best_parent
+
+    # Use *at most* n_segments chords: because the approximation must
+    # interpolate a subset of the original breakpoints (Eq. 8), adding a
+    # breakpoint can occasionally increase the error, so the best segment
+    # count may be smaller than the budget.  The hardware constraint is an
+    # upper bound on the segment count, so picking fewer is always legal.
+    final_costs = cost[n - 1, 1:n_segments + 1]
+    if not np.any(np.isfinite(final_costs)):
+        raise RuntimeError("PLC dynamic program failed to reach the last point")
+    best_segments = int(np.argmin(final_costs)) + 1
+    total_error = float(final_costs[best_segments - 1])
+
+    # backtrack the chosen breakpoints
+    indices = [n - 1]
+    node, s = n - 1, best_segments
+    while s > 0:
+        node = int(parent[node, s])
+        indices.append(node)
+        s -= 1
+    indices.reverse()
+
+    selected_x = tuple(float(x[i]) for i in indices)
+    selected_y = tuple(float(y[i]) for i in indices)
+    return PiecewiseLinearCurve(
+        selected_x,
+        selected_y,
+        mean_squared_error=float(total_error) / n,
+        breakpoint_indices=tuple(indices),
+    )
+
+
+def coarsen_transform(transform: LUTTransform, n_segments: int
+                      ) -> PiecewiseLinearCurve:
+    """Coarsen an exact GHE LUT transform directly (convenience wrapper)."""
+    return coarsen_curve(PiecewiseLinearCurve.from_lut(transform), n_segments)
+
+
+def kband_spreading_function(curve: PiecewiseLinearCurve,
+                             levels: int = 256) -> PiecewiseLinearTransform:
+    """Convert a coarsened curve into a normalized k-band transform (Fig. 3).
+
+    The curve's breakpoints (in grayscale levels) are normalized to ``[0, 1]``
+    and wrapped in a :class:`PiecewiseLinearTransform` that can be applied to
+    images or programmed into the hierarchical reference driver.
+    """
+    if not curve.is_monotone():
+        raise ValueError("a grayscale-spreading function must be monotone")
+    scale = float(levels - 1)
+    x = np.clip(np.asarray(curve.x) / scale, 0.0, 1.0)
+    y = np.clip(np.asarray(curve.y) / scale, 0.0, 1.0)
+    # guard against duplicate normalized x after clipping
+    x = np.maximum.accumulate(x)
+    keep = np.concatenate([[True], np.diff(x) > 0])
+    return PiecewiseLinearTransform(tuple(x[keep]), tuple(y[keep]))

@@ -1,0 +1,73 @@
+"""Behavioural models of the transmissive TFT-LCD display subsystem.
+
+This package is the hardware substrate of the reproduction (paper Sec. 2 and
+Sec. 5.1): the CCFL backlight, the a-Si:H TFT panel, the source-driver
+reference-voltage network (conventional and the paper's hierarchical
+variant), a simple LCD controller + frame buffer, and the power accounting
+used by every experiment.
+
+* :mod:`~repro.display.ccfl` — CCFL illuminance and power model (Eq. 11)
+  with the LG-Philips LP064V1 coefficients, plus a measurement simulator
+  used to regenerate Fig. 6a.
+* :mod:`~repro.display.panel` — TFT panel transmissivity and power model
+  (Eq. 12), normally-white and normally-black variants, Fig. 6b simulator.
+* :mod:`~repro.display.driver` — Programmable LCD Reference Driver models:
+  the conventional single-band divider of ref. [5] and the hierarchical
+  k-source divider proposed by the paper (Fig. 5), including Eq. (10)
+  voltage programming and realizability checks.
+* :mod:`~repro.display.controller` — LCD controller / frame buffer
+  simulation that turns pixel values into grayscale voltages, transmittances
+  and luminances for a whole frame.
+* :mod:`~repro.display.power` — total display power and power-saving
+  accounting used by Table 1 and Fig. 8.
+"""
+
+from repro.display.ccfl import CCFLModel, LP064V1_CCFL, simulate_ccfl_measurements
+from repro.display.panel import (
+    PanelModel,
+    LP064V1_PANEL,
+    TransmissivityModel,
+    simulate_panel_measurements,
+)
+from repro.display.driver import (
+    ReferenceVoltageDriver,
+    ConventionalDriver,
+    HierarchicalDriver,
+    DriverProgram,
+)
+from repro.display.controller import LCDController, FrameBuffer, DisplayedFrame
+from repro.display.power import DisplayPowerModel, PowerBreakdown, power_saving
+from repro.display.interface import (
+    VideoBusModel,
+    available_encodings,
+    binary_encode,
+    gray_encode,
+    bus_invert_encode,
+    count_transitions,
+)
+
+__all__ = [
+    "CCFLModel",
+    "LP064V1_CCFL",
+    "simulate_ccfl_measurements",
+    "PanelModel",
+    "LP064V1_PANEL",
+    "TransmissivityModel",
+    "simulate_panel_measurements",
+    "ReferenceVoltageDriver",
+    "ConventionalDriver",
+    "HierarchicalDriver",
+    "DriverProgram",
+    "LCDController",
+    "FrameBuffer",
+    "DisplayedFrame",
+    "DisplayPowerModel",
+    "PowerBreakdown",
+    "power_saving",
+    "VideoBusModel",
+    "available_encodings",
+    "binary_encode",
+    "gray_encode",
+    "bus_invert_encode",
+    "count_transitions",
+]

@@ -1,0 +1,207 @@
+"""LCD controller and frame buffer simulation — paper Sec. 2, Fig. 1.
+
+The digital LCD subsystem has two halves (Fig. 1a): the video controller
+writes frames into a frame buffer, and the LCD controller reads them out,
+converts pixel values to grayscale voltages through the source driver, and
+drives the panel row by row while the CCFL provides the backlight.
+
+This module provides a *behavioural* simulation of that datapath so the
+reproduction can display an image end to end:
+
+``FrameBuffer``  holds frames pushed by the "video controller" (the caller).
+``LCDController`` pops a frame, runs every pixel through the programmed
+reference-voltage driver (or the identity program), applies the panel
+transmissivity model and the current backlight factor, and returns a
+:class:`DisplayedFrame` carrying the displayed pixel values, the per-pixel
+luminance actually emitted, and the power drawn by the CCFL and the panel
+during that frame.
+
+The controller is where HEBS "meets the hardware": the pipeline in
+:mod:`repro.core.pipeline` produces a driver program and a backlight factor,
+and this controller verifies what an observer would actually see.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.display.ccfl import CCFLModel, LP064V1_CCFL
+from repro.display.driver import DriverProgram
+from repro.display.panel import LP064V1_PANEL, PanelModel
+from repro.imaging.image import Image
+
+__all__ = ["FrameBuffer", "DisplayedFrame", "LCDController"]
+
+
+class FrameBuffer:
+    """A bounded FIFO of frames between the video and LCD controllers.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of frames held; pushing into a full buffer drops the
+        oldest frame (real double-buffered controllers overwrite the back
+        buffer rather than stalling the video source).
+    """
+
+    def __init__(self, capacity: int = 2) -> None:
+        if capacity < 1:
+            raise ValueError("frame buffer capacity must be at least 1")
+        self.capacity = int(capacity)
+        self._frames: deque[Image] = deque()
+        self.dropped_frames = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether there is no frame waiting to be displayed."""
+        return not self._frames
+
+    def push(self, frame: Image) -> None:
+        """Write a frame (video-controller side)."""
+        if len(self._frames) >= self.capacity:
+            self._frames.popleft()
+            self.dropped_frames += 1
+        self._frames.append(frame)
+
+    def pop(self) -> Image:
+        """Read the oldest frame (LCD-controller side)."""
+        if not self._frames:
+            raise IndexError("frame buffer is empty")
+        return self._frames.popleft()
+
+    def peek(self) -> Image:
+        """Look at the oldest frame without consuming it."""
+        if not self._frames:
+            raise IndexError("frame buffer is empty")
+        return self._frames[0]
+
+
+@dataclass(frozen=True)
+class DisplayedFrame:
+    """Everything the panel produced while displaying one frame.
+
+    Attributes
+    ----------
+    source:
+        The frame read from the frame buffer (original pixel values).
+    displayed:
+        The image actually shown: source pixels passed through the
+        programmed grayscale-voltage transfer function.
+    luminance:
+        Per-pixel emitted luminance ``I = beta * t(displayed)`` in ``[0, 1]``.
+    backlight_factor:
+        The CCFL dimming factor in force for the frame.
+    ccfl_power:
+        CCFL power during the frame (normalized units).
+    panel_power:
+        Panel power during the frame (normalized units).
+    """
+
+    source: Image
+    displayed: Image
+    luminance: np.ndarray
+    backlight_factor: float
+    ccfl_power: float
+    panel_power: float
+
+    @property
+    def total_power(self) -> float:
+        """CCFL plus panel power (the display-subsystem power of Table 1)."""
+        return self.ccfl_power + self.panel_power
+
+    def mean_luminance(self) -> float:
+        """Average emitted luminance over the frame."""
+        return float(np.mean(self.luminance))
+
+
+class LCDController:
+    """Behavioural model of the LCD controller + source driver + backlight.
+
+    Parameters
+    ----------
+    ccfl:
+        Backlight power model (defaults to the LP064V1 CCFL).
+    panel:
+        Panel transmissivity/power model (defaults to the LP064V1 panel).
+    """
+
+    def __init__(self, ccfl: CCFLModel = LP064V1_CCFL,
+                 panel: PanelModel = LP064V1_PANEL) -> None:
+        self.ccfl = ccfl
+        self.panel = panel
+        self._backlight_factor = 1.0
+        self._program: DriverProgram | None = None
+
+    # ------------------------------------------------------------------ #
+    # configuration (what the HEBS pipeline programs)
+    # ------------------------------------------------------------------ #
+    @property
+    def backlight_factor(self) -> float:
+        """Currently programmed CCFL dimming factor."""
+        return self._backlight_factor
+
+    def set_backlight(self, beta: float) -> float:
+        """Dim the CCFL to factor ``beta``; returns the clamped factor."""
+        self._backlight_factor = self.ccfl.clamp_factor(beta)
+        return self._backlight_factor
+
+    def load_program(self, program: DriverProgram | None) -> None:
+        """Program the source-driver reference voltages (``None`` = identity)."""
+        self._program = program
+        if program is not None:
+            self.set_backlight(program.backlight_factor)
+
+    def reset(self) -> None:
+        """Return to full backlight and the identity transfer function."""
+        self._backlight_factor = 1.0
+        self._program = None
+
+    # ------------------------------------------------------------------ #
+    # frame path
+    # ------------------------------------------------------------------ #
+    def _apply_transfer_function(self, frame: Image) -> Image:
+        """Run every pixel through the programmed grayscale-voltage LUT."""
+        if self._program is None:
+            return frame
+        lut = self._program.lut()
+        if lut.size != frame.levels:
+            raise ValueError(
+                f"driver programmed for {lut.size} levels but frame has "
+                f"{frame.levels}"
+            )
+        mapped = np.rint(lut)[frame.pixels]
+        return frame.with_pixels(mapped)
+
+    def display(self, frame: Image) -> DisplayedFrame:
+        """Display a single frame and account for its power.
+
+        The displayed image is the frame passed through the programmed
+        transfer function; the emitted luminance applies the panel
+        transmissivity and the dimmed backlight (Eq. 1b).
+        """
+        grayscale = frame.to_grayscale()
+        displayed = self._apply_transfer_function(grayscale)
+        transmittance = self.panel.transmissivity.transmittance(
+            displayed.as_float())
+        luminance = self._backlight_factor * np.asarray(transmittance)
+        return DisplayedFrame(
+            source=grayscale,
+            displayed=displayed,
+            luminance=luminance,
+            backlight_factor=self._backlight_factor,
+            ccfl_power=float(self.ccfl.power(self._backlight_factor)),
+            panel_power=self.panel.frame_power(displayed),
+        )
+
+    def drain(self, buffer: FrameBuffer) -> list[DisplayedFrame]:
+        """Display every frame currently waiting in ``buffer``."""
+        frames = []
+        while not buffer.is_empty:
+            frames.append(self.display(buffer.pop()))
+        return frames

@@ -1,0 +1,289 @@
+"""Programmable LCD Reference Driver (PLRD) models — paper Sec. 4.1, Fig. 5.
+
+The source driver of a TFT-LCD converts pixel values into grayscale voltages
+by mixing a small set of *reference voltages* produced by a resistive
+divider.  Backlight-scaling techniques piggy-back on this structure: instead
+of rewriting every pixel in the frame buffer, they re-program the reference
+voltages so the *grayscale-voltage transfer function* itself realizes the
+pixel transformation.
+
+Two driver architectures are modelled:
+
+* :class:`ConventionalDriver` — the single-band architecture of ref. [5]
+  (Fig. 5a): switches at both ends of a single voltage divider clamp the low
+  and high grayscale levels, so the transfer function is restricted to the
+  single-band grayscale-spreading form of Fig. 2d (one linear region with
+  one slope, flat bands only at the two ends).
+
+* :class:`HierarchicalDriver` — the paper's proposal (Fig. 5b): ``k``
+  independently controllable sources ``V_i`` feed a hierarchy of dividers,
+  so the transfer function can be any monotone piecewise-linear curve with
+  at most ``k`` segments, including flat bands in the *middle* of the
+  grayscale range.  Given an approximated transformation ``Lambda`` and a
+  backlight factor ``beta``, the source voltages are programmed as
+  ``V_i = V_dd * Y_qi / beta`` (Eq. 10), the division by ``beta``
+  compensating for the dimmed backlight.
+
+Both drivers expose the same interface: ``program()`` accepts a
+:class:`~repro.core.plc.PiecewiseLinearCurve` (or breakpoint arrays) plus a
+backlight factor, validates that the hardware can realize it, and returns a
+:class:`DriverProgram` whose :meth:`DriverProgram.lut` gives the effective
+pixel-value mapping actually applied by the hardware (including voltage
+clamping at ``V_dd``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "DriverProgram",
+    "ReferenceVoltageDriver",
+    "ConventionalDriver",
+    "HierarchicalDriver",
+]
+
+
+@dataclass(frozen=True)
+class DriverProgram:
+    """The result of programming a reference-voltage driver.
+
+    Attributes
+    ----------
+    breakpoint_levels:
+        Input grayscale levels (``x`` components ``X_qi``) of the programmed
+        piecewise-linear transfer function, in increasing order.
+    reference_voltages:
+        Programmed node voltages, one per breakpoint, in volts.  These are
+        the ``V_i = V_dd * Y_qi / beta`` of Eq. (10), clamped to
+        ``[0, V_dd]`` because a resistive divider cannot exceed the supply.
+    backlight_factor:
+        The backlight factor ``beta`` the program compensates for.
+    vdd:
+        Supply voltage of the driver.
+    levels:
+        Number of representable grayscale levels (256 for 8-bit panels).
+    """
+
+    breakpoint_levels: np.ndarray
+    reference_voltages: np.ndarray
+    backlight_factor: float
+    vdd: float
+    levels: int = 256
+
+    def __post_init__(self) -> None:
+        levels = np.asarray(self.breakpoint_levels, dtype=np.float64)
+        volts = np.asarray(self.reference_voltages, dtype=np.float64)
+        if levels.ndim != 1 or volts.ndim != 1 or levels.size != volts.size:
+            raise ValueError("breakpoints and voltages must be 1-D and equal length")
+        if levels.size < 2:
+            raise ValueError("a driver program needs at least two breakpoints")
+        if np.any(np.diff(levels) <= 0):
+            raise ValueError("breakpoint levels must be strictly increasing")
+        if np.any(np.diff(volts) < 0):
+            raise ValueError("reference voltages must be non-decreasing")
+        if volts.min() < -1e-9 or volts.max() > self.vdd + 1e-9:
+            raise ValueError("reference voltages must lie within [0, Vdd]")
+        object.__setattr__(self, "breakpoint_levels", levels)
+        object.__setattr__(self, "reference_voltages", volts)
+
+    @property
+    def n_segments(self) -> int:
+        """Number of linear segments of the programmed transfer function."""
+        return int(self.breakpoint_levels.size - 1)
+
+    def grayscale_voltage(self, level: float | np.ndarray) -> np.ndarray:
+        """Grayscale voltage produced for input level(s) ``level``.
+
+        The source driver interpolates linearly between the programmed
+        reference voltages (Sec. 2: "the source driver mixes different
+        reference voltages to obtain the desired grayscale voltages").
+        """
+        level_array = np.clip(np.asarray(level, dtype=np.float64),
+                              0, self.levels - 1)
+        return np.interp(level_array, self.breakpoint_levels,
+                         self.reference_voltages)
+
+    def displayed_value(self, level: float | np.ndarray) -> np.ndarray:
+        """Effective displayed pixel value (0..levels-1) for input level(s).
+
+        The displayed value is the grayscale voltage normalized by ``V_dd``;
+        voltages at the rail saturate at the maximum level, which is exactly
+        the clipping behaviour of Fig. 2's ``min(1, .)`` terms.
+        """
+        voltage = self.grayscale_voltage(level)
+        return np.clip(voltage / self.vdd, 0.0, 1.0) * (self.levels - 1)
+
+    def lut(self) -> np.ndarray:
+        """Full look-up table: displayed value for every input level."""
+        return self.displayed_value(np.arange(self.levels))
+
+
+class ReferenceVoltageDriver:
+    """Common behaviour of the PLRD models.
+
+    Parameters
+    ----------
+    vdd:
+        Supply voltage available to the divider network.
+    levels:
+        Number of grayscale levels the panel accepts (256 for 8 bits).
+    """
+
+    def __init__(self, vdd: float = 3.3, levels: int = 256) -> None:
+        if vdd <= 0:
+            raise ValueError("Vdd must be positive")
+        if levels < 2:
+            raise ValueError("need at least two grayscale levels")
+        self.vdd = float(vdd)
+        self.levels = int(levels)
+
+    # -- interface ------------------------------------------------------ #
+    def max_segments(self) -> int:
+        """Largest number of linear segments the driver can realize."""
+        raise NotImplementedError
+
+    def can_realize(self, x_breaks: Sequence[float],
+                    y_breaks: Sequence[float]) -> bool:
+        """Whether the transfer function with these breakpoints is realizable."""
+        raise NotImplementedError
+
+    def program(self, x_breaks: Sequence[float], y_breaks: Sequence[float],
+                backlight_factor: float) -> DriverProgram:
+        """Program the driver for a piecewise-linear transfer function.
+
+        ``x_breaks``/``y_breaks`` describe the *compressed-image* transfer
+        function ``Lambda`` in grayscale levels (both in ``[0, levels-1]``).
+        ``backlight_factor`` is ``beta``; the programmed voltages divide the
+        ``y`` values by ``beta`` (Eq. 10) to compensate for dimming and clamp
+        at ``V_dd``.
+        """
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------- #
+    def _validate_breakpoints(self, x_breaks: Sequence[float],
+                              y_breaks: Sequence[float]
+                              ) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x_breaks, dtype=np.float64)
+        y = np.asarray(y_breaks, dtype=np.float64)
+        if x.ndim != 1 or y.ndim != 1 or x.size != y.size:
+            raise ValueError("x and y breakpoints must be 1-D and equal length")
+        if x.size < 2:
+            raise ValueError("need at least two breakpoints")
+        if np.any(np.diff(x) <= 0):
+            raise ValueError("x breakpoints must be strictly increasing")
+        if np.any(np.diff(y) < 0):
+            raise ValueError(
+                "y breakpoints must be non-decreasing (monotone transfer "
+                "function, GHE guarantees this)"
+            )
+        if x[0] < 0 or x[-1] > self.levels - 1:
+            raise ValueError("x breakpoints outside the grayscale level range")
+        if y.min() < 0 or y.max() > self.levels - 1:
+            raise ValueError("y breakpoints outside the grayscale level range")
+        return x, y
+
+    def _voltages_for(self, y_breaks: np.ndarray,
+                      backlight_factor: float) -> np.ndarray:
+        """Apply Eq. (10): ``V_i = V_dd * Y_qi / beta`` with rail clamping."""
+        if not 0.0 < backlight_factor <= 1.0:
+            raise ValueError(
+                f"backlight factor must be in (0, 1], got {backlight_factor}"
+            )
+        normalized = y_breaks / float(self.levels - 1)
+        volts = self.vdd * normalized / backlight_factor
+        return np.clip(volts, 0.0, self.vdd)
+
+
+class ConventionalDriver(ReferenceVoltageDriver):
+    """Single-band PLRD of ref. [5] (Fig. 5a).
+
+    The divider has clamping switches only at the two ends, so the
+    realizable transfer functions are exactly the single-band
+    grayscale-spreading curves of Fig. 2d: at most three segments, where the
+    first and last segments (if present) must be flat (slope 0) and the
+    middle segment has a single free slope.
+    """
+
+    def __init__(self, vdd: float = 3.3, levels: int = 256,
+                 n_taps: int = 10) -> None:
+        super().__init__(vdd=vdd, levels=levels)
+        if n_taps < 2:
+            raise ValueError("the voltage divider needs at least two taps")
+        #: Number of divider taps (ref. [11] uses a 10-way divider); only
+        #: affects the voltage quantization, not the band structure.
+        self.n_taps = int(n_taps)
+
+    def max_segments(self) -> int:
+        return 3
+
+    def can_realize(self, x_breaks: Sequence[float],
+                    y_breaks: Sequence[float]) -> bool:
+        x, y = self._validate_breakpoints(x_breaks, y_breaks)
+        slopes = np.diff(y) / np.diff(x)
+        non_flat = np.where(slopes > 1e-9)[0]
+        if non_flat.size == 0:
+            return True  # completely flat function: trivially realizable
+        # all non-flat segments must be contiguous and share one slope
+        if non_flat[-1] - non_flat[0] + 1 != non_flat.size:
+            return False
+        unique_slopes = slopes[non_flat]
+        if not np.allclose(unique_slopes, unique_slopes[0], rtol=1e-6, atol=1e-9):
+            return False
+        # flat regions may only exist before and after the linear band
+        return True
+
+    def program(self, x_breaks: Sequence[float], y_breaks: Sequence[float],
+                backlight_factor: float) -> DriverProgram:
+        x, y = self._validate_breakpoints(x_breaks, y_breaks)
+        if not self.can_realize(x, y):
+            raise ValueError(
+                "the conventional single-band driver cannot realize a "
+                "multi-slope transfer function; use HierarchicalDriver"
+            )
+        volts = self._voltages_for(y, backlight_factor)
+        return DriverProgram(x, volts, backlight_factor, self.vdd, self.levels)
+
+
+class HierarchicalDriver(ReferenceVoltageDriver):
+    """The paper's hierarchical k-source PLRD (Fig. 5b).
+
+    ``k`` controllable voltage sources feed a hierarchical divider, so any
+    monotone piecewise-linear transfer function with at most ``k`` segments
+    is realizable — including flat bands in the middle of the grayscale
+    range (Sec. 4.1).  At reset the sources sit at ``V_i = i * V_dd / k``,
+    which realizes the identity (slope-one) transfer function.
+    """
+
+    def __init__(self, n_sources: int = 8, vdd: float = 3.3,
+                 levels: int = 256) -> None:
+        super().__init__(vdd=vdd, levels=levels)
+        if n_sources < 2:
+            raise ValueError("the hierarchical driver needs at least two sources")
+        self.n_sources = int(n_sources)
+
+    def max_segments(self) -> int:
+        return self.n_sources
+
+    def default_voltages(self) -> np.ndarray:
+        """Reset voltages ``V_i = i * V_dd / k`` (identity transfer function)."""
+        return np.arange(1, self.n_sources + 1) * self.vdd / self.n_sources
+
+    def can_realize(self, x_breaks: Sequence[float],
+                    y_breaks: Sequence[float]) -> bool:
+        x, _ = self._validate_breakpoints(x_breaks, y_breaks)
+        return x.size - 1 <= self.max_segments()
+
+    def program(self, x_breaks: Sequence[float], y_breaks: Sequence[float],
+                backlight_factor: float) -> DriverProgram:
+        x, y = self._validate_breakpoints(x_breaks, y_breaks)
+        if not self.can_realize(x, y):
+            raise ValueError(
+                f"transfer function has {x.size - 1} segments but the driver "
+                f"only has {self.n_sources} controllable sources"
+            )
+        volts = self._voltages_for(y, backlight_factor)
+        return DriverProgram(x, volts, backlight_factor, self.vdd, self.levels)

@@ -1,0 +1,178 @@
+"""Video-interface (bus) power model — the paper's "first class of techniques".
+
+Sec. 1 splits LCD power work into two classes: techniques that reduce the
+switching activity of the digital interface between the graphics controller
+and the LCD controller (refs. [2][3]: chromatic encoding, limited intra-word
+transition codes) and techniques that dim the backlight (DLS, CBCS, HEBS).
+HEBS belongs to the second class, but a complete display-subsystem model
+needs the first as well: the frame data still has to cross the bus every
+refresh, and its energy is proportional to the number of signal transitions.
+
+This module provides a behavioural bus model:
+
+* transition counting for a frame transmitted as a raster scan of 8-bit
+  words over an ``n_lanes``-wide bus,
+* three encoders — plain binary, Gray code, and a bus-invert code (a
+  representative "limited transition" code in the spirit of refs. [2][3]) —
+  so the relative savings of smarter encodings can be reproduced,
+* an energy model ``E = C_eff * V_dd^2 * transitions`` with a default
+  effective capacitance chosen so the bus energy is a realistic few percent
+  of the display-subsystem energy.
+
+The ``interface`` ablation benchmark uses it to show that backlight scaling
+and bus encoding compose: HEBS does not change the bus energy appreciably,
+and the encodings save the same fraction with or without HEBS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.image import Image
+
+__all__ = [
+    "binary_encode",
+    "gray_encode",
+    "bus_invert_encode",
+    "count_transitions",
+    "VideoBusModel",
+    "available_encodings",
+]
+
+_ENCODINGS = ("binary", "gray", "bus-invert")
+
+
+def available_encodings() -> tuple[str, ...]:
+    """Names of the supported bus encodings."""
+    return _ENCODINGS
+
+
+# --------------------------------------------------------------------- #
+# encoders: pixel words -> words actually driven on the bus
+# --------------------------------------------------------------------- #
+def binary_encode(words: np.ndarray) -> np.ndarray:
+    """Plain binary transmission (the baseline protocol of refs. [2][3])."""
+    return np.asarray(words, dtype=np.uint16)
+
+
+def gray_encode(words: np.ndarray) -> np.ndarray:
+    """Gray-code the words: consecutive values differ in a single bit.
+
+    Effective for smoothly varying data (the "spatial locality of the video
+    data" that ref. [2] exploits).
+    """
+    words = np.asarray(words, dtype=np.uint16)
+    return words ^ (words >> 1)
+
+
+def bus_invert_encode(words: np.ndarray, width: int = 8) -> np.ndarray:
+    """Bus-invert coding: send the complement when it toggles fewer wires.
+
+    A representative limited-transition code (refs. [2][3] use more elaborate
+    variants): before driving a word, compare it with the previous bus state;
+    if more than half the wires would toggle, drive the bitwise complement
+    instead (the real bus carries one extra polarity wire, accounted for by
+    the caller through ``extra_lanes``).
+    """
+    words = np.asarray(words, dtype=np.uint16)
+    mask = (1 << width) - 1
+    encoded = np.empty_like(words)
+    previous = 0
+    for index, word in enumerate(words):
+        plain_toggles = int(bin((int(word) ^ previous) & mask).count("1"))
+        if plain_toggles > width // 2:
+            driven = (~int(word)) & mask
+        else:
+            driven = int(word) & mask
+        encoded[index] = driven
+        previous = driven
+    return encoded
+
+
+def count_transitions(words: np.ndarray, width: int = 8) -> int:
+    """Total number of wire toggles when ``words`` are driven sequentially."""
+    words = np.asarray(words, dtype=np.uint16)
+    if words.size < 2:
+        return 0
+    toggles = words[1:] ^ words[:-1]
+    mask = (1 << width) - 1
+    toggles = toggles & mask
+    # popcount via the classic byte lookup
+    lookup = np.array([bin(value).count("1") for value in range(256)],
+                      dtype=np.uint8)
+    low = lookup[toggles & 0xFF]
+    high = lookup[(toggles >> 8) & 0xFF]
+    return int(low.sum() + high.sum())
+
+
+@dataclass(frozen=True)
+class VideoBusModel:
+    """Energy model of the graphics-controller -> LCD-controller interface.
+
+    Parameters
+    ----------
+    encoding:
+        ``"binary"``, ``"gray"`` or ``"bus-invert"``.
+    width:
+        Word width in bits (8 for the grayscale panels modelled here).
+    energy_per_transition:
+        Normalized energy of one wire toggle, scaled so transmitting a
+        128x128 frame of busy content at 60 Hz costs a few percent of the
+        display power in the same normalized units as
+        :mod:`repro.display.power` (the relative magnitude refs. [2][3]
+        report for the DVI interface).
+    refresh_hz:
+        Frame refresh rate; the frame energy is multiplied by it to obtain
+        bus power.
+    """
+
+    encoding: str = "binary"
+    width: int = 8
+    energy_per_transition: float = 3.0e-8
+    refresh_hz: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.encoding not in _ENCODINGS:
+            raise ValueError(
+                f"unknown encoding {self.encoding!r}; expected one of {_ENCODINGS}")
+        if not 1 <= self.width <= 16:
+            raise ValueError("width must be in [1, 16]")
+        if self.energy_per_transition <= 0:
+            raise ValueError("energy_per_transition must be positive")
+        if self.refresh_hz <= 0:
+            raise ValueError("refresh_hz must be positive")
+
+    # ------------------------------------------------------------------ #
+    def encode(self, words: np.ndarray) -> np.ndarray:
+        """Apply the configured encoding to a word stream."""
+        if self.encoding == "binary":
+            return binary_encode(words)
+        if self.encoding == "gray":
+            return gray_encode(words)
+        return bus_invert_encode(words, width=self.width)
+
+    def frame_words(self, image: Image) -> np.ndarray:
+        """The raster-scan word stream of a frame (grayscale levels)."""
+        return image.to_grayscale().pixels.reshape(-1).astype(np.uint16)
+
+    def frame_transitions(self, image: Image) -> int:
+        """Wire toggles needed to transmit one frame."""
+        return count_transitions(self.encode(self.frame_words(image)),
+                                 width=self.width)
+
+    def frame_energy(self, image: Image) -> float:
+        """Energy (normalized units) of transmitting one frame."""
+        return self.frame_transitions(image) * self.energy_per_transition
+
+    def power(self, image: Image) -> float:
+        """Bus power while refreshing ``image`` at the configured rate."""
+        return self.frame_energy(image) * self.refresh_hz
+
+    def saving_versus(self, image: Image, baseline: "VideoBusModel") -> float:
+        """Fractional transition saving of this encoding versus ``baseline``."""
+        reference = baseline.frame_transitions(image)
+        if reference == 0:
+            return 0.0
+        return 1.0 - self.frame_transitions(image) / reference

@@ -1,0 +1,91 @@
+"""Display-subsystem power accounting — the basis of Table 1 and Fig. 8.
+
+The paper reports *power saving* percentages for the whole LCD subsystem:
+the CCFL backlight (dominant, Eq. 11) plus the TFT panel (small, Eq. 12).
+Savings are quoted against displaying the original image at full backlight:
+
+    saving = 1 - P_display(beta, F') / P_display(1, F)
+
+where ``F'`` is the transformed (range-compressed) image.  This module packs
+the CCFL and panel models into a single :class:`DisplayPowerModel` and
+provides :func:`power_saving` used by every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.display.ccfl import CCFLModel, LP064V1_CCFL
+from repro.display.panel import LP064V1_PANEL, PanelModel
+from repro.imaging.image import Image
+
+__all__ = ["PowerBreakdown", "DisplayPowerModel", "power_saving"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Per-component power of displaying one frame (normalized units)."""
+
+    ccfl: float
+    panel: float
+
+    @property
+    def total(self) -> float:
+        """CCFL plus panel power."""
+        return self.ccfl + self.panel
+
+    def saving_versus(self, reference: "PowerBreakdown") -> float:
+        """Fractional saving of this breakdown relative to ``reference``."""
+        if reference.total <= 0:
+            return 0.0
+        return 1.0 - self.total / reference.total
+
+
+@dataclass(frozen=True)
+class DisplayPowerModel:
+    """Total display power model: CCFL (Eq. 11) + panel (Eq. 12).
+
+    The default instances model the LG-Philips LP064V1 used in the paper's
+    characterization (Sec. 5.1).
+    """
+
+    ccfl: CCFLModel = LP064V1_CCFL
+    panel: PanelModel = LP064V1_PANEL
+
+    def breakdown(self, image: Image, backlight_factor: float) -> PowerBreakdown:
+        """Power of displaying ``image`` with the CCFL dimmed to ``beta``."""
+        beta = self.ccfl.clamp_factor(backlight_factor)
+        return PowerBreakdown(
+            ccfl=float(self.ccfl.power(beta)),
+            panel=self.panel.frame_power(image),
+        )
+
+    def total(self, image: Image, backlight_factor: float) -> float:
+        """Total display power of a frame (normalized units)."""
+        return self.breakdown(image, backlight_factor).total
+
+    def reference(self, image: Image) -> PowerBreakdown:
+        """Power of displaying the original image at full backlight."""
+        return self.breakdown(image, 1.0)
+
+    def saving(self, original: Image, transformed: Image,
+               backlight_factor: float) -> float:
+        """Fractional display-power saving of the backlight-scaled display.
+
+        ``original`` is displayed at full backlight (the reference);
+        ``transformed`` at ``backlight_factor``.
+        """
+        return self.breakdown(transformed, backlight_factor).saving_versus(
+            self.reference(original))
+
+    def saving_percent(self, original: Image, transformed: Image,
+                       backlight_factor: float) -> float:
+        """Power saving expressed in percent (the Table-1 unit)."""
+        return 100.0 * self.saving(original, transformed, backlight_factor)
+
+
+def power_saving(original: Image, transformed: Image, backlight_factor: float,
+                 model: DisplayPowerModel | None = None) -> float:
+    """Convenience wrapper: percent display-power saving with LP064V1 models."""
+    return (model or DisplayPowerModel()).saving_percent(
+        original, transformed, backlight_factor)

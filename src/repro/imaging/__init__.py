@@ -1,0 +1,57 @@
+"""Image substrate: containers, pixel operations, file I/O and synthetic benchmarks.
+
+The HEBS algorithm (:mod:`repro.core`) operates on grayscale images with an
+integer pixel depth (8 bits in the paper).  This package provides:
+
+* :class:`~repro.imaging.image.Image` — an immutable-by-convention container
+  around a ``numpy`` array with grayscale/RGB awareness and bit-depth
+  bookkeeping.
+* :mod:`~repro.imaging.ops` — pixel-level operations (LUT application,
+  clipping, dynamic-range measurement, contrast/brightness adjustments).
+* :mod:`~repro.imaging.io` — readers and writers for the portable anymap
+  formats (PGM/PPM, ASCII and binary) and CSV dumps, so that examples can be
+  run on real files without external imaging libraries.
+* :mod:`~repro.imaging.synthetic` — a deterministic synthetic benchmark
+  suite standing in for the USC-SIPI database used by the paper.
+"""
+
+from repro.imaging.image import Image
+from repro.imaging.ops import (
+    apply_lut,
+    clip_pixels,
+    dynamic_range,
+    adjust_brightness,
+    adjust_contrast,
+    normalize,
+    to_float,
+    to_uint,
+)
+from repro.imaging.io import read_image, write_image, read_pnm, write_pnm
+from repro.imaging.synthetic import (
+    SyntheticImageSpec,
+    generate,
+    benchmark_names,
+    benchmark_suite,
+    load_benchmark,
+)
+
+__all__ = [
+    "Image",
+    "apply_lut",
+    "clip_pixels",
+    "dynamic_range",
+    "adjust_brightness",
+    "adjust_contrast",
+    "normalize",
+    "to_float",
+    "to_uint",
+    "read_image",
+    "write_image",
+    "read_pnm",
+    "write_pnm",
+    "SyntheticImageSpec",
+    "generate",
+    "benchmark_names",
+    "benchmark_suite",
+    "load_benchmark",
+]

@@ -1,0 +1,244 @@
+"""Image container used throughout the reproduction.
+
+The paper operates on 8-bit grayscale images (pixel values ``X`` in
+``[0, 255]``) and, for colour LCDs, on each colour channel independently
+(Sec. 2).  :class:`Image` wraps a numpy array, records the bit depth, and
+offers the handful of conversions the algorithms need (grayscale/RGB,
+normalized float view, per-channel access).
+
+The container is deliberately small: all heavy lifting is done on the
+underlying arrays by the functions in :mod:`repro.imaging.ops`,
+:mod:`repro.core` and :mod:`repro.quality`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Image"]
+
+#: ITU-R BT.601 luma weights, also used by the paper's reference text
+#: (Pratt, "Digital Image Processing") for grayscale conversion.
+_LUMA_WEIGHTS = np.array([0.299, 0.587, 0.114])
+
+
+@dataclass(frozen=True)
+class Image:
+    """A grayscale or RGB raster image with an explicit bit depth.
+
+    Parameters
+    ----------
+    pixels:
+        ``(H, W)`` array for grayscale or ``(H, W, 3)`` array for RGB.  Any
+        integer or float dtype is accepted; values are stored as
+        ``numpy.uint16`` internally (wide enough for depths up to 16 bits)
+        and validated against ``bit_depth``.
+    bit_depth:
+        Number of bits per channel.  The paper uses 8 (grayscale levels
+        ``0..255``).
+    name:
+        Optional human-readable identifier (benchmark name, file stem, ...).
+
+    Notes
+    -----
+    Instances are frozen dataclasses; the pixel array is set to read-only so
+    that accidental in-place mutation of a shared benchmark image is caught
+    early.  Use :meth:`with_pixels` to derive a modified copy.
+    """
+
+    pixels: np.ndarray
+    bit_depth: int = 8
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        pixels = np.asarray(self.pixels)
+        if pixels.ndim not in (2, 3):
+            raise ValueError(
+                f"expected a (H, W) or (H, W, 3) array, got shape {pixels.shape}"
+            )
+        if pixels.ndim == 3 and pixels.shape[2] != 3:
+            raise ValueError(
+                f"colour images must have exactly 3 channels, got {pixels.shape[2]}"
+            )
+        if pixels.size == 0:
+            raise ValueError("image must contain at least one pixel")
+        if not 1 <= self.bit_depth <= 16:
+            raise ValueError(f"bit_depth must be in [1, 16], got {self.bit_depth}")
+
+        max_level = (1 << self.bit_depth) - 1
+        values = np.rint(np.asarray(pixels, dtype=np.float64))
+        if values.min() < 0 or values.max() > max_level:
+            raise ValueError(
+                "pixel values out of range for bit depth "
+                f"{self.bit_depth}: [{values.min()}, {values.max()}] not within "
+                f"[0, {max_level}]"
+            )
+        stored = values.astype(np.uint16)
+        stored.setflags(write=False)
+        object.__setattr__(self, "pixels", stored)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def height(self) -> int:
+        """Number of pixel rows."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Number of pixel columns."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying pixel array."""
+        return tuple(self.pixels.shape)
+
+    @property
+    def n_pixels(self) -> int:
+        """Number of pixels (``H * W``), independent of channel count."""
+        return self.height * self.width
+
+    @property
+    def n_channels(self) -> int:
+        """1 for grayscale, 3 for RGB."""
+        return 1 if self.pixels.ndim == 2 else 3
+
+    @property
+    def is_grayscale(self) -> bool:
+        """Whether the image has a single channel."""
+        return self.n_channels == 1
+
+    @property
+    def max_level(self) -> int:
+        """Largest representable pixel value, e.g. 255 for 8-bit images."""
+        return (1 << self.bit_depth) - 1
+
+    @property
+    def levels(self) -> int:
+        """Number of representable grayscale levels (``max_level + 1``)."""
+        return 1 << self.bit_depth
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_float(
+        cls, values: np.ndarray, bit_depth: int = 8, name: str = ""
+    ) -> "Image":
+        """Build an image from normalized float values in ``[0, 1]``.
+
+        Values are clipped to ``[0, 1]`` and quantized to the requested bit
+        depth (the paper's normalized pixel value ``x = X / 255``).
+        """
+        values = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+        max_level = (1 << bit_depth) - 1
+        return cls(np.rint(values * max_level), bit_depth=bit_depth, name=name)
+
+    @classmethod
+    def constant(
+        cls, level: int, shape: tuple[int, int] = (64, 64), bit_depth: int = 8,
+        name: str = "",
+    ) -> "Image":
+        """A flat image where every pixel holds ``level``."""
+        return cls(np.full(shape, level, dtype=np.uint16), bit_depth=bit_depth,
+                   name=name)
+
+    # ------------------------------------------------------------------ #
+    # views and conversions
+    # ------------------------------------------------------------------ #
+    def as_float(self) -> np.ndarray:
+        """Pixel values normalized to ``[0, 1]`` as ``float64``."""
+        return self.pixels.astype(np.float64) / float(self.max_level)
+
+    def as_array(self) -> np.ndarray:
+        """A writable copy of the raw pixel values."""
+        return np.array(self.pixels, dtype=np.uint16, copy=True)
+
+    def to_grayscale(self) -> "Image":
+        """Collapse RGB to a single luma channel (BT.601 weights).
+
+        Grayscale images are returned unchanged.  This mirrors how the paper
+        treats colour LCDs: the transformation is derived from (and applied
+        to) the luminance statistics of the image.
+        """
+        if self.is_grayscale:
+            return self
+        luma = self.pixels.astype(np.float64) @ _LUMA_WEIGHTS
+        return Image(np.rint(luma), bit_depth=self.bit_depth,
+                     name=self.name or "")
+
+    def channel(self, index: int) -> "Image":
+        """Return a single channel of an RGB image as a grayscale image."""
+        if self.is_grayscale:
+            if index != 0:
+                raise IndexError("grayscale images only have channel 0")
+            return self
+        if not 0 <= index < 3:
+            raise IndexError(f"channel index {index} out of range")
+        return Image(self.pixels[:, :, index], bit_depth=self.bit_depth,
+                     name=f"{self.name}[{index}]" if self.name else "")
+
+    def channels(self) -> Iterator["Image"]:
+        """Iterate over the channels of the image (one for grayscale)."""
+        for index in range(self.n_channels):
+            yield self.channel(index)
+
+    def with_pixels(self, pixels: np.ndarray, name: str | None = None) -> "Image":
+        """Derive a new image with the same bit depth but new pixel data."""
+        return Image(pixels, bit_depth=self.bit_depth,
+                     name=self.name if name is None else name)
+
+    def with_name(self, name: str) -> "Image":
+        """Derive a copy with a different name."""
+        return Image(self.pixels, bit_depth=self.bit_depth, name=name)
+
+    # ------------------------------------------------------------------ #
+    # statistics used by the algorithms
+    # ------------------------------------------------------------------ #
+    def min(self) -> int:
+        """Smallest pixel value present in the image."""
+        return int(self.pixels.min())
+
+    def max(self) -> int:
+        """Largest pixel value present in the image."""
+        return int(self.pixels.max())
+
+    def mean(self) -> float:
+        """Mean pixel value."""
+        return float(self.pixels.mean())
+
+    def std(self) -> float:
+        """Population standard deviation of the pixel values."""
+        return float(self.pixels.std())
+
+    def dynamic_range(self) -> int:
+        """``max - min`` of the pixel values (the paper's range ``R``)."""
+        return self.max() - self.min()
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Image):
+            return NotImplemented
+        return (
+            self.bit_depth == other.bit_depth
+            and self.pixels.shape == other.pixels.shape
+            and bool(np.array_equal(self.pixels, other.pixels))
+        )
+
+    def __hash__(self) -> int:  # frozen dataclass with array field
+        return hash((self.bit_depth, self.pixels.shape, self.pixels.tobytes()))
+
+    def __repr__(self) -> str:
+        kind = "grayscale" if self.is_grayscale else "rgb"
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"Image({kind}{label}, {self.width}x{self.height}, "
+            f"{self.bit_depth}-bit)"
+        )

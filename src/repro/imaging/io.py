@@ -1,0 +1,175 @@
+"""Minimal image file I/O (portable anymap and CSV) with no external deps.
+
+The paper's experiments use images from the USC-SIPI database.  In this
+reproduction the benchmark images are synthesized
+(:mod:`repro.imaging.synthetic`), but the examples still need to read and
+write real image files so that a user can point the pipeline at their own
+pictures.  We support:
+
+* **PGM** (``P2`` ASCII / ``P5`` binary) — 8/16-bit grayscale,
+* **PPM** (``P3`` ASCII / ``P6`` binary) — 8/16-bit RGB,
+* **CSV** — a plain matrix of integer levels (grayscale only), convenient
+  for piping data in and out of other tools.
+
+These formats are trivially parsed and written with numpy, avoiding a PIL
+dependency while keeping the examples runnable on real data.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.imaging.image import Image
+
+__all__ = ["read_image", "write_image", "read_pnm", "write_pnm",
+           "read_csv", "write_csv"]
+
+_PNM_GRAY_MAGIC = {b"P2": "ascii", b"P5": "binary"}
+_PNM_RGB_MAGIC = {b"P3": "ascii", b"P6": "binary"}
+
+
+# --------------------------------------------------------------------- #
+# generic front-ends
+# --------------------------------------------------------------------- #
+def read_image(path: str | os.PathLike) -> Image:
+    """Read an image file, dispatching on the file extension.
+
+    ``.pgm`` / ``.ppm`` / ``.pnm`` are parsed as portable anymaps, ``.csv``
+    as a grayscale level matrix.
+    """
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix in (".pgm", ".ppm", ".pnm"):
+        return read_pnm(path)
+    if suffix == ".csv":
+        return read_csv(path)
+    raise ValueError(f"unsupported image format: {suffix!r} (use .pgm/.ppm/.csv)")
+
+
+def write_image(image: Image, path: str | os.PathLike) -> None:
+    """Write an image file, dispatching on the file extension."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix in (".pgm", ".ppm", ".pnm"):
+        write_pnm(image, path)
+        return
+    if suffix == ".csv":
+        write_csv(image, path)
+        return
+    raise ValueError(f"unsupported image format: {suffix!r} (use .pgm/.ppm/.csv)")
+
+
+# --------------------------------------------------------------------- #
+# portable anymap (PGM / PPM)
+# --------------------------------------------------------------------- #
+def _read_pnm_tokens(stream: io.BufferedReader, count: int) -> list[int]:
+    """Read ``count`` whitespace-separated integer tokens, skipping comments."""
+    tokens: list[int] = []
+    current = b""
+    in_comment = False
+    while len(tokens) < count:
+        char = stream.read(1)
+        if not char:
+            raise ValueError("unexpected end of PNM header")
+        if in_comment:
+            if char in b"\r\n":
+                in_comment = False
+            continue
+        if char == b"#":
+            in_comment = True
+            continue
+        if char.isspace():
+            if current:
+                tokens.append(int(current))
+                current = b""
+            continue
+        current += char
+    return tokens
+
+
+def read_pnm(path: str | os.PathLike) -> Image:
+    """Read a PGM (grayscale) or PPM (RGB) file, ASCII or binary."""
+    path = Path(path)
+    with open(path, "rb") as stream:
+        magic = stream.read(2)
+        if magic in _PNM_GRAY_MAGIC:
+            channels, encoding = 1, _PNM_GRAY_MAGIC[magic]
+        elif magic in _PNM_RGB_MAGIC:
+            channels, encoding = 3, _PNM_RGB_MAGIC[magic]
+        else:
+            raise ValueError(f"not a supported PNM file (magic {magic!r})")
+
+        width, height, max_value = _read_pnm_tokens(stream, 3)
+        if width <= 0 or height <= 0:
+            raise ValueError(f"invalid PNM dimensions {width}x{height}")
+        if not 1 <= max_value <= 65535:
+            raise ValueError(f"invalid PNM max value {max_value}")
+        bit_depth = int(max_value).bit_length()
+        n_values = width * height * channels
+
+        if encoding == "ascii":
+            text = stream.read().split()
+            if len(text) < n_values:
+                raise ValueError("truncated ASCII PNM payload")
+            data = np.array([int(token) for token in text[:n_values]],
+                            dtype=np.uint16)
+        else:
+            dtype = np.dtype(">u2") if max_value > 255 else np.dtype("u1")
+            raw = stream.read(n_values * dtype.itemsize)
+            if len(raw) < n_values * dtype.itemsize:
+                raise ValueError("truncated binary PNM payload")
+            data = np.frombuffer(raw, dtype=dtype).astype(np.uint16)
+
+    shape = (height, width) if channels == 1 else (height, width, 3)
+    return Image(data.reshape(shape), bit_depth=bit_depth, name=path.stem)
+
+
+def write_pnm(image: Image, path: str | os.PathLike, binary: bool = True) -> None:
+    """Write a PGM (grayscale) or PPM (RGB) file.
+
+    ``binary=True`` writes the raw (``P5``/``P6``) variant; ``False`` writes
+    the ASCII (``P2``/``P3``) variant which is convenient for inspection and
+    version control.
+    """
+    path = Path(path)
+    max_value = image.max_level
+    if image.is_grayscale:
+        magic = b"P5" if binary else b"P2"
+    else:
+        magic = b"P6" if binary else b"P3"
+
+    header = b"%s\n%d %d\n%d\n" % (magic, image.width, image.height, max_value)
+    flat = image.pixels.reshape(-1)
+    with open(path, "wb") as stream:
+        stream.write(header)
+        if binary:
+            dtype = np.dtype(">u2") if max_value > 255 else np.dtype("u1")
+            stream.write(flat.astype(dtype).tobytes())
+        else:
+            per_line = 12
+            lines = []
+            for start in range(0, flat.size, per_line):
+                chunk = flat[start:start + per_line]
+                lines.append(" ".join(str(int(v)) for v in chunk))
+            stream.write(("\n".join(lines) + "\n").encode("ascii"))
+
+
+# --------------------------------------------------------------------- #
+# CSV (grayscale level matrix)
+# --------------------------------------------------------------------- #
+def read_csv(path: str | os.PathLike, bit_depth: int = 8) -> Image:
+    """Read a grayscale image stored as a CSV matrix of integer levels."""
+    path = Path(path)
+    data = np.loadtxt(path, delimiter=",", dtype=np.float64, ndmin=2)
+    return Image(data, bit_depth=bit_depth, name=path.stem)
+
+
+def write_csv(image: Image, path: str | os.PathLike) -> None:
+    """Write a grayscale image as a CSV matrix of integer levels."""
+    if not image.is_grayscale:
+        raise ValueError("CSV output only supports grayscale images")
+    np.savetxt(Path(path), image.pixels, fmt="%d", delimiter=",")

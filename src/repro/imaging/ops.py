@@ -1,0 +1,176 @@
+"""Pixel-level operations shared by the HEBS core and the baselines.
+
+These functions are the "array layer": they work on raw integer pixel
+arrays or on :class:`~repro.imaging.image.Image` containers and implement the
+handful of primitives the paper relies on — look-up-table (LUT) application
+(how the LCD reference driver realizes a pixel transformation), clipping /
+saturation, dynamic-range measurement, and simple brightness / contrast
+adjustments used by the baseline techniques of Fig. 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.image import Image
+
+__all__ = [
+    "to_float",
+    "to_uint",
+    "apply_lut",
+    "clip_pixels",
+    "dynamic_range",
+    "occupied_range",
+    "adjust_brightness",
+    "adjust_contrast",
+    "normalize",
+    "saturation_fraction",
+    "quantize_levels",
+]
+
+
+def to_float(image: Image | np.ndarray, bit_depth: int = 8) -> np.ndarray:
+    """Return pixel values normalized to ``[0, 1]`` as ``float64``.
+
+    Accepts either an :class:`Image` (its own bit depth is used) or a raw
+    integer array together with ``bit_depth``.
+    """
+    if isinstance(image, Image):
+        return image.as_float()
+    max_level = (1 << bit_depth) - 1
+    return np.asarray(image, dtype=np.float64) / float(max_level)
+
+
+def to_uint(values: np.ndarray, bit_depth: int = 8) -> np.ndarray:
+    """Quantize normalized float values in ``[0, 1]`` to integer levels.
+
+    Values outside ``[0, 1]`` are clipped (saturated), which is exactly what
+    the display hardware does when a compensated pixel value exceeds the
+    representable range (the source of distortion in ref. [4]).
+    """
+    max_level = (1 << bit_depth) - 1
+    clipped = np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+    return np.rint(clipped * max_level).astype(np.uint16)
+
+
+def apply_lut(image: Image, lut: np.ndarray) -> Image:
+    """Apply a look-up table mapping every grayscale level to a new level.
+
+    ``lut`` must have ``image.levels`` entries; entry ``i`` gives the output
+    level for input level ``i``.  This is the software equivalent of
+    programming the grayscale-voltage transfer function of the source driver
+    (Sec. 2): every pixel of value ``X`` is displayed at level ``lut[X]``.
+
+    Output values are clipped to the representable range, mirroring the
+    saturation behaviour of the reference-voltage driver.
+    """
+    lut = np.asarray(lut, dtype=np.float64)
+    if lut.ndim != 1 or lut.shape[0] != image.levels:
+        raise ValueError(
+            f"LUT must have {image.levels} entries, got shape {lut.shape}"
+        )
+    clipped = np.clip(np.rint(lut), 0, image.max_level).astype(np.uint16)
+    return image.with_pixels(clipped[image.pixels])
+
+
+def clip_pixels(image: Image, low: int, high: int) -> Image:
+    """Saturate pixel values to the band ``[low, high]``.
+
+    This models the single-band clamping of ref. [5] (Fig. 2d): values below
+    ``low`` are raised to ``low`` and values above ``high`` are lowered to
+    ``high``.
+    """
+    if low > high:
+        raise ValueError(f"low ({low}) must not exceed high ({high})")
+    if low < 0 or high > image.max_level:
+        raise ValueError(
+            f"band [{low}, {high}] outside representable range "
+            f"[0, {image.max_level}]"
+        )
+    return image.with_pixels(np.clip(image.pixels, low, high))
+
+
+def dynamic_range(image: Image | np.ndarray) -> int:
+    """Difference between the largest and smallest pixel value present.
+
+    This is the paper's dynamic range ``R``: the quantity HEBS minimizes
+    subject to the distortion budget, because the admissible backlight
+    scaling factor is (approximately) proportional to it.
+    """
+    pixels = image.pixels if isinstance(image, Image) else np.asarray(image)
+    return int(pixels.max()) - int(pixels.min())
+
+
+def occupied_range(image: Image | np.ndarray) -> tuple[int, int]:
+    """Return ``(min, max)`` pixel values present in the image."""
+    pixels = image.pixels if isinstance(image, Image) else np.asarray(image)
+    return int(pixels.min()), int(pixels.max())
+
+
+def adjust_brightness(image: Image, offset: float) -> Image:
+    """Add a constant offset (in normalized units) to every pixel.
+
+    ``offset`` is expressed as a fraction of the full range, e.g. 0.1 adds
+    25.5 levels to an 8-bit image.  Results saturate at the range ends.
+    This is the elementary operation behind the "brightness compensation"
+    baseline (Eq. 2a with offset ``1 - beta``).
+    """
+    shifted = image.as_float() + float(offset)
+    return image.with_pixels(to_uint(shifted, image.bit_depth))
+
+
+def adjust_contrast(image: Image, gain: float, pivot: float = 0.0) -> Image:
+    """Scale pixel values by ``gain`` around ``pivot`` (normalized units).
+
+    ``pivot = 0`` reproduces the "contrast enhancement" baseline
+    (Eq. 2b with gain ``1 / beta``); a mid-gray pivot of 0.5 gives the usual
+    contrast control of a display.  Results saturate at the range ends.
+    """
+    if gain < 0:
+        raise ValueError("contrast gain must be non-negative")
+    values = image.as_float()
+    scaled = (values - pivot) * float(gain) + pivot
+    return image.with_pixels(to_uint(scaled, image.bit_depth))
+
+
+def normalize(image: Image) -> Image:
+    """Stretch the image so its pixel values span the full ``[0, max]`` range.
+
+    A flat image (zero dynamic range) is returned unchanged.
+    """
+    low, high = occupied_range(image)
+    if high == low:
+        return image
+    values = (image.pixels.astype(np.float64) - low) / (high - low)
+    return image.with_pixels(to_uint(values, image.bit_depth))
+
+
+def saturation_fraction(original: Image, transformed: Image) -> float:
+    """Fraction of pixels saturated by a transformation.
+
+    Ref. [4] evaluates image distortion as "the percentage of saturated
+    pixels that exceed the range of pixel values".  A pixel counts as
+    saturated when it sits at the extreme of the representable range in the
+    transformed image but did not in the original (i.e. information was
+    lost to clipping).
+    """
+    if original.shape != transformed.shape:
+        raise ValueError("images must have the same shape")
+    max_level = transformed.max_level
+    at_extreme = (transformed.pixels == 0) | (transformed.pixels == max_level)
+    was_extreme = (original.pixels == 0) | (original.pixels == original.max_level)
+    newly_saturated = at_extreme & ~was_extreme
+    return float(newly_saturated.mean())
+
+
+def quantize_levels(image: Image, n_levels: int) -> Image:
+    """Requantize the image to ``n_levels`` evenly spaced grayscale levels.
+
+    Used by the driver model to emulate a source driver that can only
+    produce a limited number of distinct grayscale voltages.
+    """
+    if n_levels < 2:
+        raise ValueError("need at least two quantization levels")
+    values = image.as_float()
+    quantized = np.rint(values * (n_levels - 1)) / (n_levels - 1)
+    return image.with_pixels(to_uint(quantized, image.bit_depth))

@@ -1,0 +1,60 @@
+"""Image quality and distortion measures.
+
+The paper's central claim is that prior backlight-scaling work overestimates
+image distortion by counting saturated pixels [4] or preserved pixels [5],
+and that a "correct measure of distortion should appropriately combine the
+mathematical difference between pixel values (or histograms) and the
+characteristics of the human visual system" (Sec. 2).  This package provides
+all the measures needed to reproduce that argument:
+
+* :mod:`~repro.quality.metrics` — pixel-difference measures (MSE, RMSE,
+  PSNR), the saturation-percentage measure of ref. [4], the contrast-fidelity
+  measure of ref. [5], and histogram distances.
+* :mod:`~repro.quality.uqi` — the Universal image Quality Index of
+  Wang & Bovik (ref. [8]), the paper's adopted distortion basis.
+* :mod:`~repro.quality.ssim` — the Structural SIMilarity index (ref. [6]),
+  used as an alternative measure in the ablations.
+* :mod:`~repro.quality.hvs` — a simple human-visual-system weighting model
+  (luminance adaptation + contrast sensitivity) following ref. [9].
+* :mod:`~repro.quality.distortion` — the paper's *effective distortion*:
+  an HVS-weighted UQI reported as a percentage.
+"""
+
+from repro.quality.metrics import (
+    mse,
+    rmse,
+    psnr,
+    mean_absolute_error,
+    saturation_percentage,
+    contrast_fidelity,
+    histogram_l1_distance,
+)
+from repro.quality.uqi import universal_quality_index, uqi_map
+from repro.quality.ssim import ssim, ssim_map
+from repro.quality.hvs import HVSModel, perceptual_weight_map
+from repro.quality.distortion import (
+    effective_distortion,
+    DistortionMeasure,
+    get_measure,
+    available_measures,
+)
+
+__all__ = [
+    "mse",
+    "rmse",
+    "psnr",
+    "mean_absolute_error",
+    "saturation_percentage",
+    "contrast_fidelity",
+    "histogram_l1_distance",
+    "universal_quality_index",
+    "uqi_map",
+    "ssim",
+    "ssim_map",
+    "HVSModel",
+    "perceptual_weight_map",
+    "effective_distortion",
+    "DistortionMeasure",
+    "get_measure",
+    "available_measures",
+]

@@ -1,0 +1,127 @@
+"""Pixel-difference and histogram-difference distortion measures.
+
+These are the "naive" measures the paper contrasts its HVS-aware measure
+with (Sec. 2): root-mean-squared pixel error, the saturated-pixel percentage
+of ref. [4], the contrast-fidelity measure of ref. [5], and the integral of
+the absolute histogram difference.  They are all used in the ablation
+benchmark (``abl-dist`` in DESIGN.md) and by the baseline dimming policies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.imaging.image import Image
+
+__all__ = [
+    "mse",
+    "rmse",
+    "psnr",
+    "mean_absolute_error",
+    "saturation_percentage",
+    "contrast_fidelity",
+    "histogram_l1_distance",
+]
+
+
+def _as_float_pair(original: Image, transformed: Image) -> tuple[np.ndarray, np.ndarray]:
+    """Validate shapes and return both images as normalized float arrays."""
+    if original.shape != transformed.shape:
+        raise ValueError(
+            f"image shapes differ: {original.shape} vs {transformed.shape}"
+        )
+    return original.as_float(), transformed.as_float()
+
+
+def mse(original: Image, transformed: Image) -> float:
+    """Mean squared error between normalized pixel values (in ``[0, 1]``)."""
+    reference, candidate = _as_float_pair(original, transformed)
+    return float(np.mean((reference - candidate) ** 2))
+
+
+def rmse(original: Image, transformed: Image) -> float:
+    """Root mean squared error between normalized pixel values."""
+    return float(np.sqrt(mse(original, transformed)))
+
+
+def mean_absolute_error(original: Image, transformed: Image) -> float:
+    """Mean absolute error between normalized pixel values."""
+    reference, candidate = _as_float_pair(original, transformed)
+    return float(np.mean(np.abs(reference - candidate)))
+
+
+def psnr(original: Image, transformed: Image) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images)."""
+    error = mse(original, transformed)
+    if error == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(1.0 / error))
+
+
+def saturation_percentage(original: Image, transformed: Image) -> float:
+    """Percentage of pixels whose information was lost to saturation.
+
+    This is the distortion measure of ref. [4] ("Image distortion after
+    backlight luminance dimming is evaluated by the percentage of saturated
+    pixels that exceed the range of pixel values").  A pixel counts when it
+    sits at an extreme of the representable range in the transformed image
+    while it was strictly inside the range in the original.
+    """
+    if original.shape != transformed.shape:
+        raise ValueError("images must have the same shape")
+    max_level = transformed.max_level
+    at_extreme = (transformed.pixels == 0) | (transformed.pixels == max_level)
+    was_interior = (original.pixels > 0) & (original.pixels < original.max_level)
+    return float(100.0 * np.mean(at_extreme & was_interior))
+
+
+def contrast_fidelity(original: Image, transformed: Image,
+                      tolerance: int = 0) -> float:
+    """Fraction of pixel-value levels whose contrast is preserved.
+
+    Ref. [5] proposes "contrast fidelity" as the distortion measure for
+    concurrent brightness/contrast scaling: the fraction of pixels whose
+    *relative* grayscale differences survive the transformation.  We measure
+    it as the fraction of pixels whose local horizontal and vertical contrast
+    (first differences) is preserved to within ``tolerance`` levels after
+    renormalizing the transformed image back to the original range.
+    """
+    if original.shape != transformed.shape:
+        raise ValueError("images must have the same shape")
+    if not original.is_grayscale or not transformed.is_grayscale:
+        original = original.to_grayscale()
+        transformed = transformed.to_grayscale()
+
+    reference = original.pixels.astype(np.int32)
+    candidate = transformed.pixels.astype(np.int32)
+
+    # horizontal and vertical first differences (local contrast)
+    ref_dx = np.diff(reference, axis=1)
+    ref_dy = np.diff(reference, axis=0)
+    cand_dx = np.diff(candidate, axis=1)
+    cand_dy = np.diff(candidate, axis=0)
+
+    preserved_dx = np.abs(ref_dx - cand_dx) <= tolerance
+    preserved_dy = np.abs(ref_dy - cand_dy) <= tolerance
+    total = preserved_dx.size + preserved_dy.size
+    if total == 0:
+        return 1.0
+    return float((preserved_dx.sum() + preserved_dy.sum()) / total)
+
+
+def histogram_l1_distance(original: Image, transformed: Image) -> float:
+    """Integral of the absolute difference of the two image histograms.
+
+    This is the "compare the images as a whole" measure the paper mentions
+    (Sec. 2) and dismisses as perceptually inadequate.  The result is
+    normalized to ``[0, 1]``: 0 for identical histograms, 1 when the
+    histograms do not overlap at all.
+    """
+    if original.bit_depth != transformed.bit_depth:
+        raise ValueError("images must share a bit depth for histogram distance")
+    levels = original.levels
+    hist_a = np.bincount(original.pixels.reshape(-1), minlength=levels)
+    hist_b = np.bincount(transformed.pixels.reshape(-1), minlength=levels)
+    hist_a = hist_a / hist_a.sum()
+    hist_b = hist_b / hist_b.sum()
+    return float(0.5 * np.abs(hist_a - hist_b).sum())

@@ -1,0 +1,117 @@
+"""Unit tests for the regression/fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regression import (
+    LinearFit,
+    PolynomialFit,
+    fit_linear,
+    fit_polynomial,
+    fit_two_piece_linear,
+    upper_envelope_shift,
+)
+from repro.display.ccfl import LP064V1_CCFL
+
+
+class TestLinearFit:
+    def test_exact_recovery(self):
+        x = np.linspace(0, 10, 20)
+        y = 3.0 * x - 2.0
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(-2.0)
+        assert fit.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 1, 200)
+        y = 5.0 * x + 1.0 + 0.01 * rng.standard_normal(200)
+        fit = fit_linear(x, y)
+        assert fit.slope == pytest.approx(5.0, abs=0.05)
+        assert fit.intercept == pytest.approx(1.0, abs=0.05)
+
+    def test_predict(self):
+        fit = LinearFit(slope=2.0, intercept=1.0)
+        assert fit.predict(3.0) == 7.0
+        assert np.allclose(fit.predict(np.array([0.0, 1.0])), [1.0, 3.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="same length"):
+            fit_linear(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_linear(np.array([1.0]), np.array([1.0]))
+
+
+class TestPolynomialFit:
+    def test_exact_quadratic_recovery(self):
+        x = np.linspace(-1, 1, 30)
+        y = 0.5 - 1.5 * x + 2.0 * x**2
+        fit = fit_polynomial(x, y, degree=2)
+        assert np.allclose(fit.coefficients, [0.5, -1.5, 2.0], atol=1e-9)
+        assert fit.degree == 2
+
+    def test_predict_scalar_and_array(self):
+        fit = PolynomialFit((1.0, 0.0, 1.0))   # 1 + x^2
+        assert fit.predict(2.0) == pytest.approx(5.0)
+        assert np.allclose(fit.predict(np.array([0.0, 1.0])), [1.0, 2.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="degree"):
+            fit_polynomial(np.arange(5.0), np.arange(5.0), degree=0)
+        with pytest.raises(ValueError, match="at least 4"):
+            fit_polynomial(np.arange(3.0), np.arange(3.0), degree=3)
+
+
+class TestTwoPieceLinearFit:
+    def test_recovers_ccfl_model(self):
+        """Fitting noiseless samples of Eq. (11) recovers knee and slopes."""
+        beta = np.linspace(0.2, 1.0, 60)
+        power = np.asarray(LP064V1_CCFL.power(beta))
+        fit = fit_two_piece_linear(beta, power)
+        assert fit.knee == pytest.approx(LP064V1_CCFL.saturation_knee, abs=0.03)
+        assert fit.lower.slope == pytest.approx(LP064V1_CCFL.linear_slope, rel=0.05)
+        assert fit.upper.slope == pytest.approx(LP064V1_CCFL.saturated_slope,
+                                                rel=0.05)
+
+    def test_predict_uses_correct_piece(self):
+        beta = np.linspace(0.2, 1.0, 60)
+        power = np.asarray(LP064V1_CCFL.power(beta))
+        fit = fit_two_piece_linear(beta, power)
+        assert fit.predict(0.5) == pytest.approx(LP064V1_CCFL.power(0.5), rel=0.02)
+        assert fit.predict(0.95) == pytest.approx(LP064V1_CCFL.power(0.95), rel=0.02)
+
+    def test_single_line_data_still_fits(self):
+        x = np.linspace(0, 1, 20)
+        y = 2 * x + 1
+        fit = fit_two_piece_linear(x, y)
+        assert fit.lower.slope == pytest.approx(2.0, abs=1e-6)
+        assert fit.upper.slope == pytest.approx(2.0, abs=1e-6)
+
+    def test_unsorted_input_is_sorted_internally(self):
+        rng = np.random.default_rng(1)
+        x = rng.permutation(np.linspace(0.2, 1.0, 40))
+        y = np.asarray(LP064V1_CCFL.power(x))
+        fit = fit_two_piece_linear(x, y)
+        assert fit.knee == pytest.approx(LP064V1_CCFL.saturation_knee, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 6"):
+            fit_two_piece_linear(np.arange(4.0), np.arange(4.0))
+
+
+class TestUpperEnvelope:
+    def test_shift_dominates_all_samples(self):
+        rng = np.random.default_rng(3)
+        x = np.linspace(0, 1, 50)
+        y = 2 * x + rng.standard_normal(50)
+        fit = fit_linear(x, y)
+        shift = upper_envelope_shift(x, y, fit)
+        shifted_prediction = np.asarray(fit.predict(x)) + shift
+        assert np.all(shifted_prediction >= y - 1e-9)
+
+    def test_zero_shift_when_fit_already_dominates(self):
+        x = np.linspace(0, 1, 10)
+        y = np.zeros(10)
+        fit = LinearFit(slope=0.0, intercept=1.0)
+        assert upper_envelope_shift(x, y, fit) == 0.0

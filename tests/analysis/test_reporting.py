@@ -1,0 +1,83 @@
+"""Unit tests for table / series rendering."""
+
+import pytest
+
+from repro.analysis.reporting import Table, format_series, format_table, table_to_csv
+
+
+@pytest.fixture
+def table():
+    return Table(
+        title="Demo",
+        columns=("image", "saving%"),
+    ).with_row(image="Lena", **{"saving%": 47.53}).with_row(
+        image="Average", **{"saving%": 45.879})
+
+
+class TestTable:
+    def test_with_row_appends(self, table):
+        assert len(table.rows) == 2
+        extended = table.with_row(image="Pout", **{"saving%": 42.0})
+        assert len(extended.rows) == 3
+        assert len(table.rows) == 2   # original unchanged
+
+    def test_with_rows_bulk(self):
+        table = Table("t", ("a",)).with_rows([{"a": 1}, {"a": 2}])
+        assert table.column_values("a") == [1, 2]
+
+    def test_column_values_skips_missing(self):
+        table = Table("t", ("a", "b")).with_row(a=1).with_row(a=2, b=3)
+        assert table.column_values("b") == [3]
+
+    def test_render_contains_title_headers_and_values(self, table):
+        text = table.render()
+        assert "Demo" in text
+        assert "image" in text and "saving%" in text
+        assert "Lena" in text
+        assert "47.53" in text
+
+    def test_precision_applied(self, table):
+        assert "45.88" in table.render()
+        assert "45.879" not in table.render()
+
+    def test_missing_cells_render_dash(self):
+        table = Table("t", ("a", "b")).with_row(a=1)
+        assert "-" in format_table(table)
+
+    def test_boolean_cells(self):
+        table = Table("t", ("ok",)).with_row(ok=True).with_row(ok=False)
+        text = table.render()
+        assert "yes" in text and "no" in text
+
+    def test_empty_table_renders_header_only(self):
+        text = Table("empty", ("a", "b")).render()
+        assert "a" in text and "b" in text
+
+
+class TestCsv:
+    def test_header_and_rows(self, table):
+        csv = table_to_csv(table)
+        lines = csv.splitlines()
+        assert lines[0] == "image,saving%"
+        assert lines[1].startswith("Lena,")
+
+    def test_quoting_of_commas_and_quotes(self):
+        table = Table("t", ("name",)).with_row(name='Lena, "the" image')
+        csv = table_to_csv(table)
+        assert '"Lena, ""the"" image"' in csv
+
+    def test_to_csv_method_matches_function(self, table):
+        assert table.to_csv() == table_to_csv(table)
+
+
+class TestSeries:
+    def test_format_series(self):
+        text = format_series("Fig 6a", [0.1, 0.2], [1.0, 2.0],
+                             x_label="power", y_label="illuminance")
+        assert "Fig 6a" in text
+        assert "power" in text and "illuminance" in text
+        assert "0.100" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            format_series("bad", [1.0], [1.0, 2.0])

@@ -1,0 +1,69 @@
+"""Unit tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.analysis.sweep import SweepResult, sweep
+
+
+class TestSweep:
+    def test_cartesian_product_order(self):
+        result = sweep(lambda a, b: {"sum": a + b}, a=[1, 2], b=[10, 20])
+        assert len(result) == 4
+        assert result.column("sum") == [11, 21, 12, 22]
+        assert result.parameters == ("a", "b")
+
+    def test_records_contain_parameters_and_results(self):
+        result = sweep(lambda a: {"double": 2 * a}, a=[3])
+        record = result.records[0]
+        assert record["a"] == 3
+        assert record["double"] == 6
+
+    def test_none_skips_point(self):
+        result = sweep(lambda a: None if a == 2 else {"v": a}, a=[1, 2, 3])
+        assert len(result) == 2
+        assert result.column("v") == [1, 3]
+
+    def test_shadowing_keys_rejected(self):
+        with pytest.raises(ValueError, match="shadowing"):
+            sweep(lambda a: {"a": 1}, a=[1])
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            sweep(lambda a: {"v": a}, a=[])
+        with pytest.raises(ValueError, match="at least one parameter"):
+            sweep(lambda: {"v": 1})
+
+
+class TestSweepResult:
+    @pytest.fixture
+    def result(self):
+        return sweep(lambda image, level: {"saving": level * 2.0 + len(image)},
+                     image=["lena", "baboon"], level=[1, 2, 3])
+
+    def test_column_missing_key(self, result):
+        with pytest.raises(KeyError, match="missing"):
+            result.column("nope")
+
+    def test_where_filters(self, result):
+        filtered = result.where(image="lena")
+        assert len(filtered) == 3
+        assert all(record["image"] == "lena" for record in filtered.records)
+
+    def test_where_chains(self, result):
+        assert len(result.where(image="lena", level=2)) == 1
+
+    def test_aggregates(self, result):
+        lena_only = result.where(image="lena")
+        assert lena_only.mean("saving") == pytest.approx(4.0 + 4.0)
+        assert lena_only.min("saving") == pytest.approx(6.0)
+        assert lena_only.max("saving") == pytest.approx(10.0)
+
+    def test_group_mean(self, result):
+        groups = result.group_mean("image", "saving")
+        assert set(groups) == {"lena", "baboon"}
+        assert groups["lena"] == pytest.approx(8.0)
+        assert groups["baboon"] == pytest.approx(10.0)
+
+    def test_len_and_immutables(self, result):
+        assert len(result) == 6
+        assert isinstance(result, SweepResult)

@@ -1,0 +1,80 @@
+"""Unit tests for the CBCS baseline (ref. [5], Eq. 3)."""
+
+import pytest
+
+from repro.baselines.cbcs import CBCS
+from repro.core.transforms import SingleBandSpreadTransform
+
+
+class TestBandSelection:
+    def test_full_backlight_keeps_full_band(self, lena):
+        band = CBCS().band_for(lena, 1.0)
+        assert (band.g_low, band.g_high) == (0.0, 1.0)
+
+    def test_band_width_matches_beta(self, lena):
+        for beta in (0.3, 0.5, 0.8):
+            band = CBCS().band_for(lena, beta)
+            assert band.g_high - band.g_low == pytest.approx(beta, abs=0.01)
+
+    def test_band_is_single_band_transform(self, lena):
+        assert isinstance(CBCS().band_for(lena, 0.5), SingleBandSpreadTransform)
+
+    def test_band_covers_the_histogram_mode(self, pout):
+        """For a dark image the best band hugs the dark end."""
+        band = CBCS().band_for(pout, 0.5)
+        assert band.g_low < 0.3
+
+    def test_band_maximizes_covered_pixels(self, lena):
+        """No other band of the same width covers more pixels."""
+        import numpy as np
+        from repro.core.histogram import Histogram
+        beta = 0.4
+        chosen = CBCS().band_for(lena, beta)
+        counts = Histogram.of_image(lena).counts
+        width = int(round(beta * 255))
+        cumulative = np.concatenate([[0], np.cumsum(counts)])
+        coverage = cumulative[width + 1:] - cumulative[:-width - 1]
+        best_possible = coverage.max()
+        chosen_start = int(round(chosen.g_low * 255))
+        chosen_coverage = cumulative[chosen_start + width + 1] - cumulative[chosen_start]
+        assert chosen_coverage == best_possible
+
+    def test_beta_validation(self, lena):
+        with pytest.raises(ValueError, match="beta"):
+            CBCS().band_for(lena, 0.0)
+
+
+class TestPolicy:
+    def test_budget_respected(self, lena):
+        result = CBCS().optimize(lena, 10.0)
+        assert result.distortion <= 10.5
+        assert result.method == "cbcs"
+
+    def test_larger_budget_dims_more(self, lena):
+        tight = CBCS().optimize(lena, 5.0)
+        loose = CBCS().optimize(lena, 20.0)
+        assert loose.backlight_factor <= tight.backlight_factor + 1e-6
+
+    def test_distortion_decreases_with_backlight(self, lena):
+        policy = CBCS()
+        assert policy.distortion_at(lena, 0.3) >= policy.distortion_at(lena, 0.9)
+
+    def test_native_contrast_fidelity_measure(self, lena):
+        policy = CBCS(measure="contrast")
+        result = policy.optimize(lena, 10.0)
+        assert result.distortion <= 10.5
+
+    def test_narrow_histogram_image_allows_aggressive_dimming(self, pout, baboon):
+        """Ref. [5]'s key win: images whose histogram fits a narrow band can
+        be dimmed hard.  The dark low-contrast image must allow at least as
+        much dimming as the full-range texture."""
+        budget = 10.0
+        dark = CBCS().optimize(pout, budget)
+        texture = CBCS().optimize(baboon, budget)
+        assert dark.backlight_factor <= texture.backlight_factor + 0.05
+
+    def test_apply_fixed_beta(self, lena):
+        result = CBCS().apply(lena, 0.5)
+        assert result.backlight_factor == 0.5
+        assert result.displayed.min() == 0
+        assert result.displayed.max() == 255

@@ -1,0 +1,66 @@
+"""Unit tests for the DLS baselines (ref. [4], Eq. 2a/2b)."""
+
+import pytest
+
+from repro.baselines.dls import DLSBrightness, DLSContrast
+from repro.core.transforms import GrayscaleShiftTransform, GrayscaleSpreadTransform
+
+
+class TestTransformSelection:
+    def test_brightness_variant_uses_shift(self):
+        assert isinstance(DLSBrightness().transform_for(0.7),
+                          GrayscaleShiftTransform)
+
+    def test_contrast_variant_uses_spread(self):
+        assert isinstance(DLSContrast().transform_for(0.7),
+                          GrayscaleSpreadTransform)
+
+    def test_method_names(self):
+        assert DLSBrightness().method_name == "dls-brightness"
+        assert DLSContrast().method_name == "dls-contrast"
+
+
+class TestDistortionBehaviour:
+    def test_distortion_decreases_with_backlight(self, lena):
+        policy = DLSContrast()
+        assert policy.distortion_at(lena, 0.4) >= policy.distortion_at(lena, 0.8)
+
+    def test_full_backlight_has_no_distortion(self, lena):
+        assert DLSContrast().distortion_at(lena, 1.0) == pytest.approx(0.0, abs=1e-6)
+        assert DLSBrightness().distortion_at(lena, 1.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_native_saturation_measure_supported(self, lena):
+        policy = DLSContrast(measure="saturation")
+        assert policy.distortion_at(lena, 0.5) > 0.0
+
+
+class TestOptimize:
+    @pytest.mark.parametrize("policy_class", [DLSBrightness, DLSContrast])
+    def test_budget_respected(self, policy_class, lena):
+        result = policy_class().optimize(lena, 10.0)
+        assert result.distortion <= 10.0 + 0.5
+        assert result.max_distortion == 10.0
+
+    @pytest.mark.parametrize("policy_class", [DLSBrightness, DLSContrast])
+    def test_larger_budget_dims_more(self, policy_class, lena):
+        tight = policy_class().optimize(lena, 5.0)
+        loose = policy_class().optimize(lena, 20.0)
+        assert loose.backlight_factor <= tight.backlight_factor + 1e-6
+        assert loose.power_saving_percent >= tight.power_saving_percent - 1e-6
+
+    def test_contrast_variant_beats_brightness_on_dark_images(self, pout):
+        """Contrast enhancement exploits dark content better than a shift
+        (the observation that motivated ref. [5])."""
+        budget = 10.0
+        brightness = DLSBrightness().optimize(pout, budget)
+        contrast = DLSContrast().optimize(pout, budget)
+        assert contrast.power_saving_percent >= brightness.power_saving_percent - 2.0
+
+    def test_saving_is_positive_at_generous_budget(self, lena):
+        result = DLSContrast().optimize(lena, 20.0)
+        assert result.power_saving_percent > 10.0
+
+    def test_apply_fixed_beta(self, lena):
+        result = DLSContrast().apply(lena, 0.5)
+        assert result.backlight_factor == 0.5
+        assert result.displayed.max() == 255     # compensation saturates whites

@@ -1,0 +1,97 @@
+"""Unit tests for the shared dimming-policy machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.policy import (
+    build_result,
+    find_minimum_backlight,
+    perceived_image,
+)
+from repro.core.transforms import GrayscaleSpreadTransform, IdentityTransform
+from repro.display.panel import TransmissivityModel
+from repro.display.power import DisplayPowerModel
+from repro.quality.distortion import get_measure
+
+
+class TestPerceivedImage:
+    def test_identity_at_full_backlight_is_the_original(self, lena):
+        perceived = perceived_image(lena, IdentityTransform(), 1.0)
+        assert np.array_equal(perceived.pixels, lena.pixels)
+
+    def test_dimming_without_compensation_darkens(self, lena):
+        perceived = perceived_image(lena, IdentityTransform(), 0.5)
+        assert perceived.mean() == pytest.approx(lena.mean() * 0.5, rel=0.02)
+
+    def test_contrast_compensation_restores_dark_pixels(self, gradient_image):
+        beta = 0.6
+        perceived = perceived_image(gradient_image,
+                                    GrayscaleSpreadTransform(beta), beta)
+        dark_region = slice(None), slice(0, 20)     # columns well below beta*255
+        original_dark = gradient_image.pixels[dark_region].astype(int)
+        perceived_dark = perceived.pixels[dark_region].astype(int)
+        assert np.abs(original_dark - perceived_dark).max() <= 2
+
+    def test_bright_pixels_clip_at_beta(self, gradient_image):
+        beta = 0.6
+        perceived = perceived_image(gradient_image,
+                                    GrayscaleSpreadTransform(beta), beta)
+        assert perceived.max() <= int(np.ceil(beta * 255)) + 1
+
+    def test_beta_validation(self, lena):
+        with pytest.raises(ValueError, match="beta"):
+            perceived_image(lena, IdentityTransform(), 0.0)
+
+    def test_custom_transmissivity(self, lena):
+        leaky = TransmissivityModel(t_off=0.1)
+        perceived = perceived_image(lena, IdentityTransform(), 0.5,
+                                    transmissivity=leaky)
+        # leakage raises the black level, so the perceived image is brighter
+        ideal = perceived_image(lena, IdentityTransform(), 0.5)
+        assert perceived.mean() >= ideal.mean()
+
+
+class TestFindMinimumBacklight:
+    def test_monotone_function_bisection(self):
+        # distortion = 100 * (1 - beta): budget 30 -> beta 0.7
+        beta = find_minimum_backlight(lambda b: 100.0 * (1.0 - b), 30.0)
+        assert beta == pytest.approx(0.7, abs=5e-3)
+
+    def test_budget_always_met_returns_min_factor(self):
+        assert find_minimum_backlight(lambda b: 0.0, 10.0, min_factor=0.2) == 0.2
+
+    def test_budget_never_met_returns_full(self):
+        assert find_minimum_backlight(lambda b: 99.0, 10.0) == 1.0
+
+    def test_result_satisfies_budget(self):
+        evaluate = lambda b: 50.0 * (1.0 - b) ** 0.5
+        beta = find_minimum_backlight(evaluate, 20.0)
+        assert evaluate(beta) <= 20.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            find_minimum_backlight(lambda b: 0.0, -1.0)
+        with pytest.raises(ValueError, match="min_factor"):
+            find_minimum_backlight(lambda b: 0.0, 1.0, min_factor=1.5)
+        with pytest.raises(ValueError, match="coarse_steps"):
+            find_minimum_backlight(lambda b: 0.0, 1.0, coarse_steps=1)
+
+
+class TestBuildResult:
+    def test_fields_and_power_accounting(self, lena):
+        model = DisplayPowerModel()
+        result = build_result("demo", lena, GrayscaleSpreadTransform(0.6), 0.6,
+                              get_measure("effective"), 10.0, model)
+        assert result.method == "demo"
+        assert result.backlight_factor == 0.6
+        assert result.max_distortion == 10.0
+        assert result.power.ccfl < result.reference_power.ccfl
+        assert 0.0 < result.power_saving < 1.0
+        assert result.power_saving_percent == pytest.approx(
+            100 * result.power_saving)
+
+    def test_summary_keys(self, lena):
+        result = build_result("demo", lena, IdentityTransform(), 1.0,
+                              get_measure("rmse"), 5.0, DisplayPowerModel())
+        assert set(result.summary()) == {"backlight_factor", "distortion_percent",
+                                         "power_saving_percent"}

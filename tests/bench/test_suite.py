@@ -1,0 +1,64 @@
+"""Unit tests for the benchmark registry and cached characterization."""
+
+import pytest
+
+from repro.bench.suite import (
+    DEFAULT_IMAGE_SIZE,
+    benchmark_images,
+    default_curve,
+    default_pipeline,
+)
+from repro.core.pipeline import HEBS, HEBSConfig
+
+
+class TestBenchmarkImages:
+    def test_returns_all_nineteen_by_default(self):
+        assert len(benchmark_images()) == 19
+
+    def test_subset_selection_preserves_order(self):
+        subset = benchmark_images(names=("peppers", "lena"))
+        assert list(subset) == ["peppers", "lena"]
+
+    def test_subset_is_case_insensitive(self):
+        assert "lena" in benchmark_images(names=("Lena",))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark names"):
+            benchmark_images(names=("not-an-image",))
+
+    def test_default_size(self):
+        image = benchmark_images(names=("lena",))["lena"]
+        assert image.shape == DEFAULT_IMAGE_SIZE
+
+    def test_cached_instances_are_reused(self):
+        first = benchmark_images(names=("lena",))["lena"]
+        second = benchmark_images(names=("lena",))["lena"]
+        assert first is second
+
+    def test_returned_mapping_is_a_copy(self):
+        images = benchmark_images()
+        images.pop("lena")
+        assert "lena" in benchmark_images()
+
+
+class TestDefaultCurveAndPipeline:
+    def test_curve_is_cached(self):
+        assert default_curve() is default_curve()
+
+    def test_curve_covers_all_benchmarks(self):
+        names = {sample.image_name for sample in default_curve().samples}
+        assert names == set(benchmark_images())
+
+    def test_pipeline_uses_cached_curve(self):
+        assert default_pipeline().curve is default_curve()
+
+    def test_pipeline_with_custom_config(self):
+        pipeline = default_pipeline(config=HEBSConfig(n_segments=4,
+                                                      driver_sources=4))
+        assert isinstance(pipeline, HEBS)
+        assert pipeline.config.n_segments == 4
+
+    def test_alternative_measure_builds_its_own_curve(self):
+        rmse_curve = default_curve(measure="rmse")
+        assert rmse_curve is not default_curve()
+        assert rmse_curve.measure_name == "rmse"

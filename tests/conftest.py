@@ -1,0 +1,97 @@
+"""Shared fixtures for the HEBS reproduction test suite.
+
+Expensive objects (the synthetic benchmark images and the fitted distortion
+characteristic curve) are session-scoped so the several hundred tests share a
+single characterization run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.suite import benchmark_images, default_curve, default_pipeline
+from repro.core.pipeline import HEBS, HEBSConfig
+from repro.imaging.image import Image
+
+
+@pytest.fixture(scope="session")
+def lena() -> Image:
+    """The synthetic Lena stand-in (128x128, 8-bit)."""
+    return benchmark_images(names=("lena",))["lena"]
+
+
+@pytest.fixture(scope="session")
+def pout() -> Image:
+    """The synthetic Pout stand-in: dark, low-contrast."""
+    return benchmark_images(names=("pout",))["pout"]
+
+
+@pytest.fixture(scope="session")
+def baboon() -> Image:
+    """The synthetic Baboon stand-in: dense texture, wide histogram."""
+    return benchmark_images(names=("baboon",))["baboon"]
+
+
+@pytest.fixture(scope="session")
+def small_suite() -> dict[str, Image]:
+    """A four-image subset of the benchmark suite for faster sweeps."""
+    return benchmark_images(names=("lena", "peppers", "baboon", "pout"))
+
+
+@pytest.fixture(scope="session")
+def full_suite() -> dict[str, Image]:
+    """All 19 synthetic benchmark images."""
+    return benchmark_images()
+
+
+@pytest.fixture(scope="session")
+def characteristic_curve():
+    """The default (session-cached) distortion characteristic curve."""
+    return default_curve()
+
+
+@pytest.fixture(scope="session")
+def pipeline(characteristic_curve) -> HEBS:
+    """A default HEBS pipeline sharing the session-cached curve."""
+    return default_pipeline()
+
+
+@pytest.fixture
+def gradient_image() -> Image:
+    """A 64x64 horizontal ramp covering all 256 levels (deterministic)."""
+    row = np.linspace(0, 255, 64)
+    return Image(np.tile(row, (64, 1)), name="ramp")
+
+
+@pytest.fixture
+def flat_image() -> Image:
+    """A constant mid-gray 32x32 image."""
+    return Image.constant(128, shape=(32, 32), name="flat")
+
+
+@pytest.fixture
+def checker_image() -> Image:
+    """A 32x32 black/white checkerboard (extreme bimodal histogram)."""
+    pattern = np.indices((32, 32)).sum(axis=0) % 2
+    return Image(pattern * 255, name="checker")
+
+
+@pytest.fixture
+def noisy_image() -> Image:
+    """A reproducible 48x48 uniform-noise image (near-uniform histogram)."""
+    rng = np.random.default_rng(1234)
+    return Image(rng.integers(0, 256, size=(48, 48)), name="noise")
+
+
+@pytest.fixture
+def rgb_image() -> Image:
+    """A small reproducible RGB image."""
+    rng = np.random.default_rng(42)
+    return Image(rng.integers(0, 256, size=(24, 24, 3)), name="rgb")
+
+
+@pytest.fixture
+def fast_config() -> HEBSConfig:
+    """A pipeline configuration with few PLC segments (cheap in tests)."""
+    return HEBSConfig(n_segments=4, driver_sources=4)

@@ -1,0 +1,94 @@
+"""Unit tests for colour-LCD support (ColorHEBS)."""
+
+import numpy as np
+import pytest
+
+from repro.core.color import ColorHEBS
+from repro.imaging.image import Image
+
+
+@pytest.fixture(scope="module")
+def color_image():
+    """A reproducible RGB test scene with correlated channels."""
+    rng = np.random.default_rng(99)
+    base = np.clip(rng.normal(0.5, 0.2, size=(64, 64)), 0, 1)
+    rgb = np.stack([
+        np.clip(base * 1.1, 0, 1),
+        base,
+        np.clip(base * 0.8 + 0.05, 0, 1),
+    ], axis=2)
+    return Image.from_float(rgb, name="color-scene")
+
+
+class TestConstruction:
+    def test_mode_validation(self, pipeline):
+        with pytest.raises(ValueError, match="unknown mode"):
+            ColorHEBS(pipeline, mode="hsv")
+
+    def test_modes_accepted(self, pipeline):
+        assert ColorHEBS(pipeline, mode="per_channel").mode == "per_channel"
+        assert ColorHEBS(pipeline, mode="luminance_scaled").mode == "luminance_scaled"
+
+
+class TestPerChannel:
+    def test_output_is_rgb_with_same_shape(self, pipeline, color_image):
+        result = ColorHEBS(pipeline).process_with_range(color_image, 180)
+        assert not result.transformed.is_grayscale
+        assert result.transformed.shape == color_image.shape
+
+    def test_every_channel_respects_the_range(self, pipeline, color_image):
+        result = ColorHEBS(pipeline).process_with_range(color_image, 150)
+        for channel_range in result.channel_ranges():
+            assert channel_range <= 150
+
+    def test_backlight_and_power_come_from_luminance_plane(self, pipeline,
+                                                           color_image):
+        color = ColorHEBS(pipeline).process_with_range(color_image, 150)
+        gray = pipeline.process_with_range(color_image.to_grayscale(), 150)
+        assert color.backlight_factor == pytest.approx(gray.backlight_factor)
+        assert color.power_saving_percent == pytest.approx(
+            gray.power_saving_percent)
+        assert color.distortion == pytest.approx(gray.distortion)
+
+    def test_channel_order_is_preserved(self, pipeline, color_image):
+        """The red channel is brighter than blue in the source; a monotone
+        shared transform keeps that ordering."""
+        result = ColorHEBS(pipeline).process_with_range(color_image, 180)
+        red = result.transformed.channel(0).mean()
+        blue = result.transformed.channel(2).mean()
+        assert red >= blue
+
+    def test_grayscale_input_passes_through(self, pipeline, lena):
+        result = ColorHEBS(pipeline).process_with_range(lena, 150)
+        assert result.transformed.is_grayscale
+        assert result.transformed == result.luminance_result.transformed
+
+
+class TestLuminanceScaled:
+    def test_preserves_channel_ratios(self, pipeline, color_image):
+        result = ColorHEBS(pipeline, mode="luminance_scaled").process_with_range(
+            color_image, 150)
+        original = color_image.as_float() + 1e-6
+        transformed = result.transformed.as_float() + 1e-6
+        original_ratio = original[:, :, 0] / original[:, :, 1]
+        transformed_ratio = transformed[:, :, 0] / transformed[:, :, 1]
+        # hue (channel ratio) is approximately preserved away from saturation
+        interior = (transformed.max(axis=2) < 0.95) & (original.max(axis=2) < 0.95)
+        assert np.median(np.abs(original_ratio[interior]
+                                - transformed_ratio[interior])) < 0.1
+
+    def test_budget_interface(self, pipeline, color_image):
+        result = ColorHEBS(pipeline, mode="luminance_scaled").process_adaptive(
+            color_image, 10.0)
+        assert result.distortion <= 10.0 + 1e-6
+
+
+class TestBudgetModes:
+    def test_process_uses_curve(self, pipeline, color_image):
+        result = ColorHEBS(pipeline).process(color_image, 10.0)
+        assert result.luminance_result.target_range == pipeline.select_range(10.0)
+
+    def test_adaptive_meets_budget(self, pipeline, color_image):
+        result = ColorHEBS(pipeline).process_adaptive(color_image, 8.0)
+        assert result.distortion <= 8.0 + 1e-6
+        assert result.power_saving_percent > 0.0

@@ -1,0 +1,135 @@
+"""Unit tests for the distortion characteristic curve (Sec. 3, 5.1c, Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distortion_curve import (
+    DEFAULT_RANGE_GRID,
+    DistortionCharacteristicCurve,
+    DistortionSample,
+    build_distortion_curve,
+)
+
+
+class TestBuild:
+    @pytest.fixture(scope="class")
+    def small_curve(self, small_suite):
+        return build_distortion_curve(small_suite,
+                                      target_ranges=(60, 120, 180, 240))
+
+    def test_sample_count(self, small_curve, small_suite):
+        assert len(small_curve.samples) == len(small_suite) * 4
+
+    def test_samples_record_names_and_ranges(self, small_curve, small_suite):
+        names = {sample.image_name for sample in small_curve.samples}
+        assert names == set(small_suite)
+        ranges = {sample.target_range for sample in small_curve.samples}
+        assert ranges == {60, 120, 180, 240}
+
+    def test_distortion_decreases_with_range_on_average(self, small_curve):
+        by_range = {}
+        for sample in small_curve.samples:
+            by_range.setdefault(sample.target_range, []).append(sample.distortion)
+        means = [np.mean(by_range[r]) for r in sorted(by_range)]
+        assert means == sorted(means, reverse=True)
+
+    def test_accepts_iterable_of_images(self, small_suite):
+        curve = build_distortion_curve(list(small_suite.values()),
+                                       target_ranges=(100, 200))
+        assert len(curve.samples) == len(small_suite) * 2
+
+    def test_accepts_callable_measure(self, small_suite):
+        curve = build_distortion_curve(
+            small_suite, target_ranges=(100, 200),
+            measure=lambda a, b: 50.0)
+        assert all(sample.distortion == 50.0 for sample in curve.samples)
+
+    def test_validation(self, small_suite):
+        with pytest.raises(ValueError, match="at least one benchmark"):
+            build_distortion_curve({}, target_ranges=(100, 200))
+        with pytest.raises(ValueError, match="at least two target ranges"):
+            build_distortion_curve(small_suite, target_ranges=(100,))
+        with pytest.raises(ValueError, match="not realizable"):
+            build_distortion_curve(small_suite, target_ranges=(100, 300))
+
+    def test_default_grid_matches_paper_ten_values(self):
+        assert len(DEFAULT_RANGE_GRID) == 10
+        assert min(DEFAULT_RANGE_GRID) == 50
+        assert max(DEFAULT_RANGE_GRID) == 250
+
+
+class TestCurvePrediction:
+    def test_worst_case_dominates_dataset_fit(self, characteristic_curve):
+        grid = np.linspace(50, 250, 21)
+        dataset = np.asarray(characteristic_curve.predict(grid))
+        worst = np.asarray(characteristic_curve.predict(grid, worst_case=True))
+        assert np.all(worst >= dataset - 1e-9)
+
+    def test_worst_case_dominates_every_sample(self, characteristic_curve):
+        ranges, distortions = characteristic_curve.sample_arrays()
+        predicted = np.asarray(characteristic_curve.predict(ranges, worst_case=True))
+        assert np.all(predicted >= distortions - 1e-6)
+
+    def test_prediction_nonnegative(self, characteristic_curve):
+        assert np.all(np.asarray(characteristic_curve.predict(
+            np.linspace(1, 255, 50))) >= 0.0)
+
+    def test_scalar_prediction(self, characteristic_curve):
+        value = characteristic_curve.predict(150)
+        assert isinstance(value, float)
+        assert value > 0.0
+
+    def test_fig7_shape(self, characteristic_curve):
+        """Distortion grows as the target dynamic range shrinks."""
+        assert characteristic_curve.predict(60) > characteristic_curve.predict(150)
+        assert characteristic_curve.predict(150) > characteristic_curve.predict(245)
+
+
+class TestRangeSelection:
+    def test_monotone_in_budget(self, characteristic_curve):
+        budgets = (2.0, 5.0, 10.0, 20.0, 40.0)
+        ranges = [characteristic_curve.min_range_for_distortion(b, worst_case=False)
+                  for b in budgets]
+        assert ranges == sorted(ranges, reverse=True)
+
+    def test_worst_case_is_more_conservative(self, characteristic_curve):
+        for budget in (5.0, 10.0, 20.0):
+            assert characteristic_curve.min_range_for_distortion(
+                budget, worst_case=True) >= \
+                characteristic_curve.min_range_for_distortion(
+                    budget, worst_case=False)
+
+    def test_tiny_budget_returns_full_range(self, characteristic_curve):
+        assert characteristic_curve.min_range_for_distortion(0.0) == \
+            characteristic_curve.levels - 1
+
+    def test_huge_budget_returns_small_range(self, characteristic_curve):
+        assert characteristic_curve.min_range_for_distortion(
+            95.0, worst_case=False) <= 60
+
+    def test_selected_range_meets_budget(self, characteristic_curve):
+        for budget in (8.0, 15.0, 30.0):
+            selected = characteristic_curve.min_range_for_distortion(
+                budget, worst_case=False)
+            if selected < characteristic_curve.levels - 1:
+                assert characteristic_curve.predict(selected) <= budget + 1e-6
+
+    def test_negative_budget_rejected(self, characteristic_curve):
+        with pytest.raises(ValueError, match="non-negative"):
+            characteristic_curve.min_range_for_distortion(-1.0)
+
+
+class TestDataclassValidation:
+    def test_coefficient_length_mismatch(self):
+        with pytest.raises(ValueError, match="same polynomial degree"):
+            DistortionCharacteristicCurve((1.0, 2.0), (1.0, 2.0, 3.0))
+
+    def test_minimum_degree(self):
+        with pytest.raises(ValueError, match="linear fit"):
+            DistortionCharacteristicCurve((1.0,), (1.0,))
+
+    def test_sample_record(self):
+        sample = DistortionSample("lena", 100, 12.5)
+        assert sample.image_name == "lena"
+        assert sample.target_range == 100
+        assert sample.distortion == 12.5

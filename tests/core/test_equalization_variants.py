@@ -1,0 +1,120 @@
+"""Unit tests for the alternative equalization methods (clipped / BBHE)."""
+
+import numpy as np
+import pytest
+
+from repro.core.equalization import equalize_histogram
+from repro.core.equalization_variants import (
+    available_equalizers,
+    bi_histogram_equalization,
+    clipped_equalization,
+    get_equalizer,
+)
+from repro.core.histogram import Histogram
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_equalizers()) == {"ghe", "clipped", "bbhe"}
+
+    def test_lookup(self):
+        assert get_equalizer("GHE") is equalize_histogram
+        assert get_equalizer("clipped") is clipped_equalization
+        assert get_equalizer("bbhe") is bi_histogram_equalization
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown equalization"):
+            get_equalizer("adaptive-local")
+
+
+class TestCommonInvariants:
+    """All variants must satisfy the contract the pipeline relies on."""
+
+    @pytest.mark.parametrize("name", ["ghe", "clipped", "bbhe"])
+    def test_monotone_and_bounded(self, name, lena, pout, baboon):
+        equalizer = get_equalizer(name)
+        for image in (lena, pout, baboon):
+            result = equalizer(image, 0, 150)
+            outputs = np.asarray(result.transform.table) * 255
+            assert np.all(np.diff(outputs) >= -1e-9), name
+            assert outputs.min() >= -0.5
+            assert outputs.max() <= 150.5
+
+    @pytest.mark.parametrize("name", ["ghe", "clipped", "bbhe"])
+    def test_transformed_image_within_range(self, name, lena):
+        result = get_equalizer(name)(lena, 0, 120)
+        transformed = result.apply(lena)
+        assert transformed.max() <= 120
+
+    @pytest.mark.parametrize("name", ["clipped", "bbhe"])
+    def test_range_validation(self, name, lena):
+        with pytest.raises(ValueError, match="g_min < g_max"):
+            get_equalizer(name)(lena, 100, 100)
+
+    @pytest.mark.parametrize("name", ["ghe", "clipped", "bbhe"])
+    def test_accepts_bare_histogram(self, name, lena):
+        histogram = Histogram.of_image(lena)
+        result = get_equalizer(name)(histogram, 0, 200)
+        assert result.source_histogram == histogram
+
+
+class TestClippedEqualization:
+    def test_clip_limit_one_is_linear_compression(self, lena):
+        result = clipped_equalization(lena, 0, 200, clip_limit=1.0)
+        outputs = np.asarray(result.transform.table) * 255
+        # with every bin clipped to the mean the cumulative is a straight
+        # line, so the transform is (nearly) affine
+        slopes = np.diff(outputs)
+        assert slopes.std() < 0.05
+
+    def test_large_clip_limit_recovers_ghe(self, lena):
+        plain = equalize_histogram(lena, 0, 200)
+        relaxed = clipped_equalization(lena, 0, 200, clip_limit=1e6)
+        assert np.allclose(np.asarray(plain.transform.table),
+                           np.asarray(relaxed.transform.table), atol=1 / 255)
+
+    def test_clipping_bounds_the_slope(self, pout):
+        """The whole point of the clip limit: the transform of a peaky
+        histogram cannot be steeper than clip_limit x the uniform slope."""
+        clip_limit = 2.0
+        result = clipped_equalization(pout, 0, 200, clip_limit=clip_limit)
+        outputs = np.asarray(result.transform.table) * 255
+        slopes = np.diff(outputs)
+        uniform_slope = 200 / 255
+        assert slopes.max() <= clip_limit * uniform_slope + 0.1
+
+    def test_gentler_than_ghe_for_peaky_histograms(self, pout):
+        from repro.quality.distortion import effective_distortion
+        plain = equalize_histogram(pout, 0, 200).apply(pout)
+        gentle = clipped_equalization(pout, 0, 200, clip_limit=2.0).apply(pout)
+        assert effective_distortion(pout, gentle) <= \
+            effective_distortion(pout, plain) + 1.0
+
+    def test_validation(self, lena):
+        with pytest.raises(ValueError, match="clip_limit"):
+            clipped_equalization(lena, 0, 200, clip_limit=0.5)
+
+
+class TestBiHistogramEqualization:
+    def test_preserves_relative_mean_better_than_ghe(self, pout):
+        """BBHE's selling point: the output mean stays near the input mean's
+        relative position in the target range."""
+        target_range = 200
+        plain = equalize_histogram(pout, 0, target_range).apply(pout)
+        preserved = bi_histogram_equalization(pout, 0, target_range).apply(pout)
+
+        source_position = pout.mean() / 255.0
+        plain_position = plain.mean() / target_range
+        preserved_position = preserved.mean() / target_range
+        assert abs(preserved_position - source_position) <= \
+            abs(plain_position - source_position) + 0.02
+
+    def test_dark_image_stays_dark(self, pout):
+        result = bi_histogram_equalization(pout, 0, 200).apply(pout)
+        assert result.mean() / 200 < 0.55
+
+    def test_split_point_within_range(self, lena):
+        result = bi_histogram_equalization(lena, 20, 220)
+        outputs = np.asarray(result.transform.table) * 255
+        assert outputs.min() >= 19.5
+        assert outputs.max() <= 220.5

@@ -1,0 +1,160 @@
+"""Unit tests for marginal / cumulative histograms and the uniform target."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import CumulativeHistogram, Histogram, uniform_cumulative
+from repro.imaging.image import Image
+
+
+class TestHistogramConstruction:
+    def test_of_image_counts_every_pixel(self, gradient_image):
+        histogram = Histogram.of_image(gradient_image)
+        assert histogram.levels == 256
+        assert histogram.n_pixels == gradient_image.n_pixels
+
+    def test_of_rgb_image_uses_luma(self, rgb_image):
+        histogram = Histogram.of_image(rgb_image)
+        assert histogram.n_pixels == rgb_image.n_pixels
+
+    def test_of_flat_image_single_spike(self, flat_image):
+        histogram = Histogram.of_image(flat_image)
+        assert histogram.counts[128] == flat_image.n_pixels
+        assert histogram.counts.sum() == flat_image.n_pixels
+
+    def test_from_probabilities(self):
+        histogram = Histogram.from_probabilities(np.array([0.5, 0.25, 0.25]),
+                                                 n_pixels=100)
+        assert histogram.counts.tolist() == [50, 25, 25]
+
+    def test_from_probabilities_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Histogram.from_probabilities(np.array([-0.1, 1.1]))
+        with pytest.raises(ValueError, match="positive"):
+            Histogram.from_probabilities(np.array([0.0, 0.0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Histogram(np.array([1, -1]))
+        with pytest.raises(ValueError, match="at least one pixel"):
+            Histogram(np.array([0, 0, 0]))
+        with pytest.raises(ValueError, match="1-D"):
+            Histogram(np.array([[1, 2], [3, 4]]))
+
+    def test_counts_read_only(self, gradient_image):
+        histogram = Histogram.of_image(gradient_image)
+        with pytest.raises(ValueError):
+            histogram.counts[0] = 5
+
+
+class TestHistogramStatistics:
+    def test_probabilities_sum_to_one(self, noisy_image):
+        assert Histogram.of_image(noisy_image).probabilities().sum() == \
+            pytest.approx(1.0)
+
+    def test_occupied_range(self):
+        histogram = Histogram(np.array([0, 5, 3, 0, 0, 7, 0]))
+        assert histogram.min_level() == 1
+        assert histogram.max_level() == 5
+        assert histogram.dynamic_range() == 4
+
+    def test_mean_and_variance(self):
+        histogram = Histogram(np.array([1, 0, 1]))
+        assert histogram.mean() == pytest.approx(1.0)
+        assert histogram.variance() == pytest.approx(1.0)
+
+    def test_mean_matches_image(self, lena):
+        assert Histogram.of_image(lena).mean() == pytest.approx(lena.mean())
+
+    def test_entropy_uniform_is_maximal(self):
+        uniform = Histogram(np.full(256, 10))
+        spike = Histogram.of_image(Image.constant(7, shape=(8, 8)))
+        assert uniform.entropy() == pytest.approx(8.0)
+        assert spike.entropy() == pytest.approx(0.0)
+
+    def test_entropy_between_bounds(self, lena):
+        entropy = Histogram.of_image(lena).entropy()
+        assert 0.0 < entropy <= 8.0
+
+    def test_l1_distance(self):
+        a = Histogram(np.array([10, 0]))
+        b = Histogram(np.array([0, 10]))
+        assert a.l1_distance(b) == pytest.approx(1.0)
+        assert a.l1_distance(a) == 0.0
+
+    def test_l1_distance_level_mismatch(self):
+        with pytest.raises(ValueError, match="same number of levels"):
+            Histogram(np.array([1, 1])).l1_distance(Histogram(np.array([1, 1, 1])))
+
+    def test_equality_and_hash(self):
+        a = Histogram(np.array([1, 2, 3]))
+        b = Histogram(np.array([1, 2, 3]))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Histogram(np.array([3, 2, 1]))
+
+
+class TestCumulativeHistogram:
+    def test_cumulative_of_marginal(self):
+        marginal = Histogram(np.array([1, 2, 3]))
+        cumulative = marginal.cumulative()
+        assert cumulative.values.tolist() == [1, 3, 6]
+        assert cumulative.n_pixels == 6
+
+    def test_round_trip(self, lena):
+        marginal = Histogram.of_image(lena)
+        assert marginal.cumulative().marginal() == marginal
+
+    def test_normalized_ends_at_one(self, lena):
+        cumulative = Histogram.of_image(lena).cumulative()
+        assert cumulative.normalized()[-1] == pytest.approx(1.0)
+
+    def test_validation_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CumulativeHistogram(np.array([3.0, 2.0, 5.0]))
+
+    def test_validation_positive_total(self):
+        with pytest.raises(ValueError, match="positive total"):
+            CumulativeHistogram(np.array([0.0, 0.0]))
+
+    def test_l1_distance_identical_is_zero(self, lena):
+        cumulative = Histogram.of_image(lena).cumulative()
+        assert cumulative.l1_distance(cumulative) == 0.0
+
+    def test_l1_distance_level_mismatch(self):
+        a = CumulativeHistogram(np.array([1.0, 2.0]))
+        b = CumulativeHistogram(np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError, match="same levels"):
+            a.l1_distance(b)
+
+    def test_equality_and_hash(self):
+        a = CumulativeHistogram(np.array([1.0, 2.0]))
+        b = CumulativeHistogram(np.array([1.0, 2.0]))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestUniformCumulative:
+    def test_footnote3_shape(self):
+        """U(x) = 0 below g_min, ramps linearly, saturates at N above g_max."""
+        target = uniform_cumulative(levels=256, n_pixels=1000, g_min=50, g_max=150)
+        values = target.values
+        assert values[49] == 0.0
+        assert values[50] == 0.0
+        assert values[150] == pytest.approx(1000.0)
+        assert values[255] == pytest.approx(1000.0)
+        assert values[100] == pytest.approx(1000.0 * 50 / 100)
+
+    def test_ramp_is_linear(self):
+        target = uniform_cumulative(levels=64, n_pixels=100, g_min=10, g_max=50)
+        ramp = target.values[10:51]
+        assert np.allclose(np.diff(ramp), 100 / 40)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="g_min < g_max"):
+            uniform_cumulative(256, 100, 100, 100)
+        with pytest.raises(ValueError, match="g_min < g_max"):
+            uniform_cumulative(256, 100, -1, 100)
+        with pytest.raises(ValueError, match="g_min < g_max"):
+            uniform_cumulative(256, 100, 0, 256)
+        with pytest.raises(ValueError, match="n_pixels"):
+            uniform_cumulative(256, 0, 0, 255)

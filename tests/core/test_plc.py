@@ -1,0 +1,183 @@
+"""Unit tests for Piecewise Linear Coarsening (Eq. 8-9, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.equalization import equalize_histogram
+from repro.core.plc import (
+    PiecewiseLinearCurve,
+    chord_error_matrix,
+    coarsen_curve,
+    coarsen_transform,
+    kband_spreading_function,
+    segment_error,
+)
+from repro.core.transforms import LUTTransform
+
+
+def quadratic_curve(n: int = 65) -> PiecewiseLinearCurve:
+    x = np.linspace(0, 255, n)
+    y = (x / 255.0) ** 2 * 255.0
+    return PiecewiseLinearCurve(tuple(x), tuple(y))
+
+
+class TestCurve:
+    def test_basic_properties(self):
+        curve = PiecewiseLinearCurve((0.0, 128.0, 255.0), (0.0, 64.0, 255.0))
+        assert curve.n_points == 3
+        assert curve.n_segments == 2
+        assert curve.is_monotone()
+        assert np.allclose(curve.slopes(), [0.5, 191.0 / 127.0])
+
+    def test_evaluation(self):
+        curve = PiecewiseLinearCurve((0.0, 100.0), (0.0, 50.0))
+        assert curve(50.0) == pytest.approx(25.0)
+        assert curve(np.array([0.0, 100.0])).tolist() == [0.0, 50.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PiecewiseLinearCurve((0.0, 0.0), (0.0, 1.0))
+        with pytest.raises(ValueError, match=">= 2 points"):
+            PiecewiseLinearCurve((0.0,), (0.0,))
+        with pytest.raises(ValueError, match="negative"):
+            PiecewiseLinearCurve((0.0, 1.0), (0.0, 1.0), mean_squared_error=-1.0)
+
+    def test_from_lut(self):
+        lut = LUTTransform(tuple(np.linspace(0, 1, 256)))
+        curve = PiecewiseLinearCurve.from_lut(lut)
+        assert curve.n_points == 256
+        assert curve.breakpoint_indices == tuple(range(256))
+        assert curve(128.0) == pytest.approx(128.0)
+
+
+class TestSegmentError:
+    def test_zero_for_collinear_points(self):
+        x = [0.0, 1.0, 2.0, 3.0]
+        y = [0.0, 2.0, 4.0, 6.0]
+        assert segment_error(x, y, 0, 3) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # chord from (0,0) to (2,0); the middle point (1,1) deviates by 1
+        assert segment_error([0.0, 1.0, 2.0], [0.0, 1.0, 0.0], 0, 2) == \
+            pytest.approx(1.0)
+
+    def test_invalid_indices(self):
+        with pytest.raises(ValueError, match="chord indices"):
+            segment_error([0.0, 1.0], [0.0, 1.0], 1, 1)
+
+    def test_matrix_matches_direct_computation(self):
+        rng = np.random.default_rng(5)
+        x = np.sort(rng.random(12)) * 100
+        y = np.cumsum(rng.random(12))
+        matrix = chord_error_matrix(x, y)
+        for i in range(0, 12, 3):
+            for j in range(i + 1, 12, 2):
+                assert matrix[i, j] == pytest.approx(
+                    segment_error(x, y, i, j), abs=1e-8)
+
+
+class TestCoarsenCurve:
+    def test_keeps_endpoints(self):
+        curve = quadratic_curve()
+        coarse = coarsen_curve(curve, 4)
+        assert coarse.x[0] == curve.x[0]
+        assert coarse.x[-1] == curve.x[-1]
+        assert coarse.y[0] == curve.y[0]
+        assert coarse.y[-1] == curve.y[-1]
+
+    def test_breakpoints_subset_of_original(self):
+        curve = quadratic_curve()
+        coarse = coarsen_curve(curve, 5)
+        original_points = set(zip(curve.x, curve.y))
+        assert set(zip(coarse.x, coarse.y)) <= original_points
+
+    def test_requested_segment_count(self):
+        curve = quadratic_curve()
+        for m in (1, 2, 3, 6, 10):
+            assert coarsen_curve(curve, m).n_segments == m
+
+    def test_error_decreases_with_more_segments(self):
+        curve = quadratic_curve(n=129)
+        errors = [coarsen_curve(curve, m).mean_squared_error
+                  for m in (1, 2, 4, 8, 16)]
+        assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+
+    def test_exact_when_enough_segments(self):
+        curve = PiecewiseLinearCurve((0.0, 50.0, 100.0, 255.0),
+                                     (0.0, 10.0, 180.0, 255.0))
+        coarse = coarsen_curve(curve, 3)
+        assert coarse.mean_squared_error == pytest.approx(0.0)
+        assert coarse.x == curve.x
+
+    def test_more_segments_than_points_returns_curve(self):
+        curve = PiecewiseLinearCurve((0.0, 100.0, 255.0), (0.0, 90.0, 255.0))
+        coarse = coarsen_curve(curve, 10)
+        assert coarse.x == curve.x
+        assert coarse.mean_squared_error == 0.0
+
+    def test_single_segment_is_end_to_end_chord(self):
+        curve = quadratic_curve()
+        coarse = coarsen_curve(curve, 1)
+        assert coarse.n_points == 2
+        assert coarse.x == (curve.x[0], curve.x[-1])
+
+    def test_dp_is_optimal_against_brute_force(self):
+        """The Eq. (9) dynamic program must match exhaustive search on a
+        small instance."""
+        from itertools import combinations
+        rng = np.random.default_rng(11)
+        x = np.arange(10, dtype=float)
+        y = np.cumsum(rng.random(10)) * 20
+        curve = PiecewiseLinearCurve(tuple(x), tuple(y))
+        m = 3
+        coarse = coarsen_curve(curve, m)
+
+        best = np.inf
+        for interior in combinations(range(1, 9), m - 1):
+            indices = [0, *interior, 9]
+            total = sum(segment_error(x, y, indices[k], indices[k + 1])
+                        for k in range(m))
+            best = min(best, total)
+        assert coarse.mean_squared_error * 10 == pytest.approx(best, abs=1e-8)
+
+    def test_monotone_input_gives_monotone_output(self, lena):
+        ghe = equalize_histogram(lena, 0, 180)
+        coarse = coarsen_transform(ghe.transform, 6)
+        assert coarse.is_monotone()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one segment"):
+            coarsen_curve(quadratic_curve(), 0)
+
+
+class TestKBandSpreadingFunction:
+    def test_normalized_and_monotone(self, lena):
+        ghe = equalize_histogram(lena, 0, 128)
+        coarse = coarsen_transform(ghe.transform, 5)
+        transform = kband_spreading_function(coarse)
+        assert transform.is_monotone()
+        assert 0.0 <= min(transform.y_breaks) <= max(transform.y_breaks) <= 1.0
+
+    def test_tracks_the_coarse_curve(self, lena):
+        ghe = equalize_histogram(lena, 0, 128)
+        coarse = coarsen_transform(ghe.transform, 8)
+        transform = kband_spreading_function(coarse)
+        grid_levels = np.linspace(0, 255, 32)
+        expected = np.asarray(coarse(grid_levels)) / 255.0
+        actual = np.asarray(transform(grid_levels / 255.0))
+        assert np.allclose(actual, expected, atol=0.02)
+
+    def test_rejects_non_monotone_curve(self):
+        curve = PiecewiseLinearCurve((0.0, 100.0, 255.0), (0.0, 200.0, 100.0))
+        with pytest.raises(ValueError, match="monotone"):
+            kband_spreading_function(curve)
+
+    def test_approximation_error_matches_reported_mse(self, lena):
+        """The reported PLC error is the mean squared vertical deviation at
+        the original breakpoints."""
+        ghe = equalize_histogram(lena, 0, 150)
+        exact = PiecewiseLinearCurve.from_lut(ghe.transform)
+        coarse = coarsen_curve(exact, 4)
+        deviations = np.asarray(exact.y) - np.asarray(coarse(np.asarray(exact.x)))
+        assert coarse.mean_squared_error == pytest.approx(
+            float(np.mean(deviations**2)), rel=1e-6)

@@ -1,0 +1,190 @@
+"""Unit tests for the pixel-transformation-function family (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.transforms import (
+    GrayscaleShiftTransform,
+    GrayscaleSpreadTransform,
+    IdentityTransform,
+    LUTTransform,
+    PiecewiseLinearTransform,
+    SingleBandSpreadTransform,
+)
+from repro.imaging.image import Image
+
+
+class TestIdentity:
+    def test_maps_values_to_themselves(self):
+        transform = IdentityTransform()
+        x = np.linspace(0, 1, 11)
+        assert np.allclose(transform(x), x)
+
+    def test_apply_preserves_image(self, gradient_image):
+        assert IdentityTransform().apply(gradient_image) == gradient_image
+
+    def test_lut_is_ramp(self):
+        assert np.array_equal(IdentityTransform().lut(), np.arange(256))
+
+    def test_monotone(self):
+        assert IdentityTransform().is_monotone()
+
+
+class TestGrayscaleShift:
+    """Eq. 2a: Phi(x, beta) = min(1, x + 1 - beta)."""
+
+    def test_matches_equation(self):
+        transform = GrayscaleShiftTransform(beta=0.6)
+        assert transform(0.0) == pytest.approx(0.4)
+        assert transform(0.5) == pytest.approx(0.9)
+        assert transform(0.7) == pytest.approx(1.0)   # saturates
+
+    def test_beta_one_is_identity(self):
+        transform = GrayscaleShiftTransform(beta=1.0)
+        x = np.linspace(0, 1, 7)
+        assert np.allclose(transform(x), x)
+
+    def test_luminance_preserved_for_non_saturating_pixels(self):
+        """beta * t(Phi(x)) == t(x) - the DLS compensation goal - holds
+        approximately for dark pixels under the ideal transmissivity only in
+        the contrast variant; the shift variant preserves the *difference*.
+        """
+        beta = 0.7
+        transform = GrayscaleShiftTransform(beta)
+        x = np.array([0.1, 0.3, 0.5])
+        assert np.allclose(transform(x) - x, 1 - beta)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            GrayscaleShiftTransform(0.0)
+        with pytest.raises(ValueError, match="beta"):
+            GrayscaleShiftTransform(1.2)
+
+    def test_monotone(self):
+        assert GrayscaleShiftTransform(0.5).is_monotone()
+
+
+class TestGrayscaleSpread:
+    """Eq. 2b: Phi(x, beta) = min(1, x / beta)."""
+
+    def test_matches_equation(self):
+        transform = GrayscaleSpreadTransform(beta=0.5)
+        assert transform(0.2) == pytest.approx(0.4)
+        assert transform(0.5) == pytest.approx(1.0)
+        assert transform(0.8) == pytest.approx(1.0)   # saturates
+
+    def test_luminance_preserved_below_beta(self):
+        beta = 0.6
+        transform = GrayscaleSpreadTransform(beta)
+        x = np.array([0.0, 0.2, 0.5])
+        assert np.allclose(beta * np.asarray(transform(x)), x)
+
+    def test_beta_one_is_identity(self):
+        x = np.linspace(0, 1, 5)
+        assert np.allclose(GrayscaleSpreadTransform(1.0)(x), x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="beta"):
+            GrayscaleSpreadTransform(-0.1)
+
+    def test_apply_saturates_bright_pixels(self, gradient_image):
+        bright = GrayscaleSpreadTransform(0.5).apply(gradient_image)
+        assert (bright.pixels == 255).mean() > 0.4
+
+
+class TestSingleBandSpread:
+    """Eq. 3: the ref. [5] transfer function."""
+
+    def test_matches_equation(self):
+        transform = SingleBandSpreadTransform(g_low=0.2, g_high=0.7)
+        assert transform(0.1) == 0.0
+        assert transform(0.2) == pytest.approx(0.0)
+        assert transform(0.45) == pytest.approx(0.5)
+        assert transform(0.7) == pytest.approx(1.0)
+        assert transform(0.9) == 1.0
+
+    def test_slope(self):
+        assert SingleBandSpreadTransform(0.25, 0.75).slope == pytest.approx(2.0)
+
+    def test_from_backlight_factor_band_width(self):
+        transform = SingleBandSpreadTransform.from_backlight_factor(0.4, center=0.5)
+        assert transform.g_high - transform.g_low == pytest.approx(0.4)
+        assert transform.g_low == pytest.approx(0.3)
+
+    def test_from_backlight_factor_clamps_to_edges(self):
+        low_band = SingleBandSpreadTransform.from_backlight_factor(0.4, center=0.1)
+        assert low_band.g_low == 0.0
+        high_band = SingleBandSpreadTransform.from_backlight_factor(0.4, center=0.95)
+        assert high_band.g_high == pytest.approx(1.0)
+
+    def test_from_backlight_factor_full(self):
+        transform = SingleBandSpreadTransform.from_backlight_factor(1.0)
+        assert (transform.g_low, transform.g_high) == (0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="g_low < g_high"):
+            SingleBandSpreadTransform(0.7, 0.2)
+        with pytest.raises(ValueError, match="beta"):
+            SingleBandSpreadTransform.from_backlight_factor(0.0)
+
+    def test_monotone(self):
+        assert SingleBandSpreadTransform(0.1, 0.9).is_monotone()
+
+
+class TestPiecewiseLinear:
+    def test_interpolation(self):
+        transform = PiecewiseLinearTransform((0.0, 0.5, 1.0), (0.0, 0.8, 1.0))
+        assert transform(0.25) == pytest.approx(0.4)
+        assert transform(0.75) == pytest.approx(0.9)
+
+    def test_n_segments_and_slopes(self):
+        transform = PiecewiseLinearTransform((0.0, 0.5, 1.0), (0.0, 0.8, 1.0))
+        assert transform.n_segments == 2
+        assert np.allclose(transform.slopes(), [1.6, 0.4])
+
+    def test_validation_monotone_x(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            PiecewiseLinearTransform((0.0, 0.0, 1.0), (0.0, 0.5, 1.0))
+
+    def test_validation_monotone_y(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            PiecewiseLinearTransform((0.0, 0.5, 1.0), (0.0, 0.9, 0.5))
+
+    def test_validation_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            PiecewiseLinearTransform((0.0, 1.5), (0.0, 1.0))
+
+    def test_apply_to_image(self, gradient_image):
+        transform = PiecewiseLinearTransform((0.0, 1.0), (0.0, 0.5))
+        halved = transform.apply(gradient_image)
+        assert halved.max() <= 128
+
+    def test_flat_band_in_the_middle(self):
+        transform = PiecewiseLinearTransform((0.0, 0.4, 0.6, 1.0),
+                                             (0.0, 0.5, 0.5, 1.0))
+        assert transform(0.45) == pytest.approx(0.5)
+        assert transform(0.55) == pytest.approx(0.5)
+
+
+class TestLUTTransform:
+    def test_table_lookup(self):
+        table = tuple(np.linspace(0, 1, 256) ** 2)
+        transform = LUTTransform(table)
+        assert transform.levels == 256
+        assert transform(1.0) == pytest.approx(1.0)
+        assert transform(0.0) == pytest.approx(0.0)
+
+    def test_validation_range(self):
+        with pytest.raises(ValueError, match="normalized"):
+            LUTTransform((0.0, 1.5))
+
+    def test_validation_monotone(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            LUTTransform((0.0, 0.8, 0.5))
+
+    def test_lut_round_trip(self, gradient_image):
+        table = tuple(np.linspace(0, 1, 256))
+        assert LUTTransform(table).apply(gradient_image) == gradient_image
+
+    def test_monotone_check(self):
+        assert LUTTransform(tuple(np.linspace(0, 1, 64))).is_monotone()

@@ -1,0 +1,131 @@
+"""Unit tests for the CCFL backlight model (Eq. 11, Fig. 6a)."""
+
+import numpy as np
+import pytest
+
+from repro.display.ccfl import CCFLModel, LP064V1_CCFL, simulate_ccfl_measurements
+
+
+class TestModelValidation:
+    def test_default_is_lp064v1(self):
+        assert LP064V1_CCFL.saturation_knee == pytest.approx(0.8234)
+        assert LP064V1_CCFL.linear_slope == pytest.approx(1.9600)
+        assert LP064V1_CCFL.linear_intercept == pytest.approx(-0.2372)
+        assert LP064V1_CCFL.saturated_slope == pytest.approx(6.9440)
+
+    def test_derived_saturated_intercept_is_negative(self):
+        """The paper prints |Csat| = 4.3240; continuity forces it negative."""
+        assert LP064V1_CCFL.saturated_intercept < 0
+        assert LP064V1_CCFL.saturated_intercept == pytest.approx(-4.34, abs=0.02)
+
+    def test_paper_magnitude_close_to_derived(self):
+        assert abs(LP064V1_CCFL.saturated_intercept) == pytest.approx(4.324, abs=0.05)
+
+    def test_explicit_saturated_intercept_respected(self):
+        model = CCFLModel(saturated_intercept=-4.324)
+        assert model.saturated_intercept == -4.324
+
+    def test_knee_validation(self):
+        with pytest.raises(ValueError, match="saturation_knee"):
+            CCFLModel(saturation_knee=1.5)
+
+    def test_slope_validation(self):
+        with pytest.raises(ValueError, match="increase"):
+            CCFLModel(linear_slope=-1.0)
+
+    def test_min_factor_validation(self):
+        with pytest.raises(ValueError, match="min_factor"):
+            CCFLModel(min_factor=0.9)
+
+
+class TestPower:
+    def test_continuous_at_knee(self):
+        model = LP064V1_CCFL
+        below = model.power(model.saturation_knee - 1e-9)
+        above = model.power(model.saturation_knee + 1e-9)
+        assert below == pytest.approx(above, abs=1e-6)
+
+    def test_monotone_increasing(self):
+        betas = np.linspace(LP064V1_CCFL.min_factor, 1.0, 100)
+        powers = LP064V1_CCFL.power(betas)
+        assert np.all(np.diff(powers) >= 0)
+
+    def test_full_power_value(self):
+        """P(1) = Asat + Csat ~ 2.6 normalized units for the LP064V1."""
+        assert LP064V1_CCFL.full_power() == pytest.approx(2.60, abs=0.05)
+
+    def test_saturation_makes_last_20_percent_expensive(self):
+        model = LP064V1_CCFL
+        linear_region_slope = model.power(0.8) - model.power(0.7)
+        saturated_region_slope = model.power(1.0) - model.power(0.9)
+        assert saturated_region_slope > 2 * linear_region_slope
+
+    def test_scalar_and_array_forms_agree(self):
+        betas = np.array([0.3, 0.6, 0.9])
+        array_power = LP064V1_CCFL.power(betas)
+        for beta, expected in zip(betas, array_power):
+            assert LP064V1_CCFL.power(float(beta)) == pytest.approx(expected)
+
+    def test_clamping_below_min_factor(self):
+        assert LP064V1_CCFL.power(0.0) == LP064V1_CCFL.power(LP064V1_CCFL.min_factor)
+
+    def test_power_never_negative(self):
+        model = CCFLModel(min_factor=0.01)
+        assert model.power(0.01) >= 0.0
+
+
+class TestIlluminance:
+    def test_inverse_of_power_in_linear_region(self):
+        beta = 0.5
+        power = LP064V1_CCFL.power(beta)
+        assert LP064V1_CCFL.illuminance(power) == pytest.approx(beta, abs=1e-9)
+
+    def test_inverse_of_power_in_saturated_region(self):
+        beta = 0.95
+        power = LP064V1_CCFL.power(beta)
+        assert LP064V1_CCFL.illuminance(power) == pytest.approx(beta, abs=1e-9)
+
+    def test_clipped_to_unit_interval(self):
+        assert LP064V1_CCFL.illuminance(100.0) == 1.0
+        assert LP064V1_CCFL.illuminance(-5.0) == 0.0
+
+
+class TestPowerSaving:
+    def test_no_saving_at_full_backlight(self):
+        assert LP064V1_CCFL.power_saving(1.0) == pytest.approx(0.0)
+
+    def test_saving_grows_with_dimming(self):
+        savings = [LP064V1_CCFL.power_saving(beta) for beta in (0.9, 0.6, 0.3)]
+        assert savings == sorted(savings)
+
+    def test_saving_bounded_by_one(self):
+        assert LP064V1_CCFL.power_saving(LP064V1_CCFL.min_factor) < 1.0
+
+    def test_dimming_to_half_saves_most_of_the_backlight(self):
+        """The knee makes the last 20% of illuminance very expensive, so
+        dimming to 50% saves well over half of the CCFL power."""
+        assert LP064V1_CCFL.power_saving(0.5) > 0.6
+
+
+class TestMeasurementSimulator:
+    def test_shapes_and_determinism(self):
+        power_a, lum_a = simulate_ccfl_measurements(n_points=20, seed=7)
+        power_b, lum_b = simulate_ccfl_measurements(n_points=20, seed=7)
+        assert power_a.shape == lum_a.shape == (20,)
+        assert np.array_equal(power_a, power_b)
+        assert np.array_equal(lum_a, lum_b)
+
+    def test_noise_zero_reproduces_model(self):
+        power, illuminance = simulate_ccfl_measurements(noise=0.0, n_points=10)
+        assert np.allclose(LP064V1_CCFL.power(illuminance), power)
+
+    def test_monotone_trend(self):
+        power, illuminance = simulate_ccfl_measurements(noise=0.0)
+        assert np.all(np.diff(power) > 0)
+        assert np.all(np.diff(illuminance) > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            simulate_ccfl_measurements(n_points=2)
+        with pytest.raises(ValueError, match="noise"):
+            simulate_ccfl_measurements(noise=-0.1)

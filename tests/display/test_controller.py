@@ -1,0 +1,109 @@
+"""Unit tests for the LCD controller / frame buffer simulation."""
+
+import numpy as np
+import pytest
+
+from repro.display.controller import DisplayedFrame, FrameBuffer, LCDController
+from repro.display.driver import HierarchicalDriver
+from repro.imaging.image import Image
+
+
+class TestFrameBuffer:
+    def test_fifo_order(self, flat_image, gradient_image):
+        buffer = FrameBuffer(capacity=2)
+        buffer.push(flat_image)
+        buffer.push(gradient_image)
+        assert buffer.pop() == flat_image
+        assert buffer.pop() == gradient_image
+
+    def test_capacity_drops_oldest(self, flat_image, gradient_image, noisy_image):
+        buffer = FrameBuffer(capacity=2)
+        buffer.push(flat_image)
+        buffer.push(gradient_image)
+        buffer.push(noisy_image)
+        assert buffer.dropped_frames == 1
+        assert len(buffer) == 2
+        assert buffer.pop() == gradient_image
+
+    def test_peek_does_not_consume(self, flat_image):
+        buffer = FrameBuffer()
+        buffer.push(flat_image)
+        assert buffer.peek() == flat_image
+        assert len(buffer) == 1
+
+    def test_empty_errors(self):
+        buffer = FrameBuffer()
+        assert buffer.is_empty
+        with pytest.raises(IndexError):
+            buffer.pop()
+        with pytest.raises(IndexError):
+            buffer.peek()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FrameBuffer(capacity=0)
+
+
+class TestLCDController:
+    def test_identity_display_at_full_backlight(self, gradient_image):
+        controller = LCDController()
+        frame = controller.display(gradient_image)
+        assert frame.displayed == gradient_image
+        assert frame.backlight_factor == 1.0
+        assert np.allclose(frame.luminance, gradient_image.as_float())
+
+    def test_dimming_scales_luminance(self, flat_image):
+        controller = LCDController()
+        controller.set_backlight(0.5)
+        frame = controller.display(flat_image)
+        assert frame.mean_luminance() == pytest.approx(0.5 * 128 / 255, abs=1e-6)
+
+    def test_backlight_clamped_to_ccfl_minimum(self):
+        controller = LCDController()
+        clamped = controller.set_backlight(0.0)
+        assert clamped == controller.ccfl.min_factor
+
+    def test_power_accounting(self, gradient_image):
+        controller = LCDController()
+        full = controller.display(gradient_image)
+        controller.set_backlight(0.4)
+        dimmed = controller.display(gradient_image)
+        assert dimmed.ccfl_power < full.ccfl_power
+        assert dimmed.total_power < full.total_power
+        assert full.total_power == pytest.approx(full.ccfl_power + full.panel_power)
+
+    def test_programmed_transfer_function_applied(self, gradient_image):
+        driver = HierarchicalDriver()
+        # compress into [0, 128] and compensate for beta = 128/255
+        program = driver.program(np.array([0.0, 255.0]), np.array([0.0, 128.0]),
+                                 backlight_factor=128.0 / 255.0)
+        controller = LCDController()
+        controller.load_program(program)
+        frame = controller.display(gradient_image)
+        # displayed pixels are boosted back up by 1/beta (Eq. 10), so the
+        # perceived luminance matches the compressed image
+        assert frame.backlight_factor == pytest.approx(128.0 / 255.0)
+        expected = gradient_image.as_float() * (128.0 / 255.0)
+        assert np.allclose(frame.luminance, expected, atol=0.01)
+
+    def test_reset_restores_identity(self, gradient_image):
+        controller = LCDController()
+        controller.set_backlight(0.3)
+        controller.reset()
+        frame = controller.display(gradient_image)
+        assert frame.backlight_factor == 1.0
+        assert frame.displayed == gradient_image
+
+    def test_rgb_frames_are_converted_to_grayscale(self, rgb_image):
+        frame = LCDController().display(rgb_image)
+        assert frame.displayed.is_grayscale
+
+    def test_drain_displays_everything(self, flat_image, gradient_image):
+        controller = LCDController()
+        buffer = FrameBuffer(capacity=4)
+        buffer.push(flat_image)
+        buffer.push(gradient_image)
+        frames = controller.drain(buffer)
+        assert len(frames) == 2
+        assert buffer.is_empty
+        assert all(isinstance(frame, DisplayedFrame) for frame in frames)

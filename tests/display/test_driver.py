@@ -1,0 +1,176 @@
+"""Unit tests for the reference-voltage driver models (Fig. 5, Eq. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.display.driver import (
+    ConventionalDriver,
+    DriverProgram,
+    HierarchicalDriver,
+)
+
+
+def identity_breakpoints(levels: int = 256):
+    return np.array([0.0, levels - 1.0]), np.array([0.0, levels - 1.0])
+
+
+class TestDriverProgram:
+    def test_basic_properties(self):
+        program = DriverProgram(np.array([0.0, 255.0]),
+                                np.array([0.0, 3.3]), 1.0, vdd=3.3)
+        assert program.n_segments == 1
+        assert program.grayscale_voltage(0) == pytest.approx(0.0)
+        assert program.grayscale_voltage(255) == pytest.approx(3.3)
+        assert program.grayscale_voltage(127.5) == pytest.approx(1.65)
+
+    def test_validation_monotone_voltages(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            DriverProgram(np.array([0.0, 255.0]), np.array([3.3, 0.0]), 1.0, 3.3)
+
+    def test_validation_increasing_levels(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            DriverProgram(np.array([0.0, 0.0]), np.array([0.0, 3.3]), 1.0, 3.3)
+
+    def test_validation_voltage_rail(self):
+        with pytest.raises(ValueError, match="Vdd"):
+            DriverProgram(np.array([0.0, 255.0]), np.array([0.0, 5.0]), 1.0, 3.3)
+
+    def test_validation_needs_two_points(self):
+        with pytest.raises(ValueError, match="two breakpoints"):
+            DriverProgram(np.array([0.0]), np.array([0.0]), 1.0, 3.3)
+
+    def test_lut_identity_program(self):
+        program = DriverProgram(np.array([0.0, 255.0]),
+                                np.array([0.0, 3.3]), 1.0, vdd=3.3)
+        lut = program.lut()
+        assert lut.shape == (256,)
+        assert np.allclose(lut, np.arange(256), atol=0.5)
+
+    def test_displayed_value_saturates_at_rail(self):
+        # compensation for beta=0.5 doubles the voltages; the top clamps
+        program = DriverProgram(np.array([0.0, 255.0]),
+                                np.array([0.0, 3.3]), 0.5, vdd=3.3)
+        assert program.displayed_value(255)[()] == pytest.approx(255.0)
+
+
+class TestHierarchicalDriver:
+    def test_default_voltages_realize_identity(self):
+        driver = HierarchicalDriver(n_sources=8, vdd=3.3)
+        defaults = driver.default_voltages()
+        assert defaults.shape == (8,)
+        assert np.allclose(np.diff(defaults), 3.3 / 8)
+        assert defaults[-1] == pytest.approx(3.3)
+
+    def test_program_identity_full_backlight(self):
+        driver = HierarchicalDriver()
+        x, y = identity_breakpoints()
+        program = driver.program(x, y, backlight_factor=1.0)
+        assert np.allclose(program.lut(), np.arange(256), atol=0.5)
+
+    def test_eq10_compensation(self):
+        """V_i = Vdd * Y_qi / beta, clamped at the rail."""
+        driver = HierarchicalDriver(vdd=3.3)
+        x = np.array([0.0, 100.0, 255.0])
+        y = np.array([0.0, 50.0, 100.0])
+        beta = 100.0 / 255.0
+        program = driver.program(x, y, beta)
+        expected_mid = 3.3 * (50.0 / 255.0) / beta
+        assert program.reference_voltages[1] == pytest.approx(expected_mid)
+        assert program.reference_voltages[2] == pytest.approx(3.3)
+
+    def test_compensated_display_preserves_luminance(self):
+        """beta * t(Lambda(x)/beta) equals t(Lambda(x)): the perceived image
+        of the compensated, dimmed display matches the range-compressed
+        image at full backlight."""
+        driver = HierarchicalDriver(vdd=3.3)
+        x = np.array([0.0, 128.0, 255.0])
+        y = np.array([0.0, 64.0, 128.0])       # compress into [0, 128]
+        beta = 128.0 / 255.0
+        program = driver.program(x, y, beta)
+        displayed = program.displayed_value(np.array([0.0, 128.0, 255.0]))
+        perceived = beta * displayed / 255.0
+        assert np.allclose(perceived, y / 255.0, atol=1e-6)
+
+    def test_segment_limit_enforced(self):
+        driver = HierarchicalDriver(n_sources=3)
+        x = np.linspace(0, 255, 6)
+        y = np.linspace(0, 255, 6)
+        assert not driver.can_realize(x, y)
+        with pytest.raises(ValueError, match="controllable sources"):
+            driver.program(x, y, 1.0)
+
+    def test_monotone_transfer_required(self):
+        driver = HierarchicalDriver()
+        x = np.array([0.0, 128.0, 255.0])
+        y = np.array([0.0, 200.0, 100.0])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            driver.program(x, y, 1.0)
+
+    def test_backlight_factor_validation(self):
+        driver = HierarchicalDriver()
+        x, y = identity_breakpoints()
+        with pytest.raises(ValueError, match="backlight factor"):
+            driver.program(x, y, 0.0)
+        with pytest.raises(ValueError, match="backlight factor"):
+            driver.program(x, y, 1.5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="two sources"):
+            HierarchicalDriver(n_sources=1)
+        with pytest.raises(ValueError, match="Vdd"):
+            HierarchicalDriver(vdd=0.0)
+        with pytest.raises(ValueError, match="grayscale levels"):
+            HierarchicalDriver(levels=1)
+
+    def test_can_realize_midrange_flat_band(self):
+        """The whole point of the hierarchical driver (Sec. 4.1): flat bands
+        in the middle of the grayscale range are realizable."""
+        driver = HierarchicalDriver(n_sources=4)
+        x = np.array([0.0, 100.0, 150.0, 255.0])
+        y = np.array([0.0, 120.0, 120.0, 255.0])   # flat band in the middle
+        assert driver.can_realize(x, y)
+        program = driver.program(x, y, 1.0)
+        assert program.n_segments == 3
+
+
+class TestConventionalDriver:
+    def test_realizes_single_band_spreading(self):
+        driver = ConventionalDriver()
+        x = np.array([0.0, 50.0, 200.0, 255.0])
+        y = np.array([0.0, 0.0, 255.0, 255.0])
+        assert driver.can_realize(x, y)
+        program = driver.program(x, y, backlight_factor=0.6)
+        assert program.n_segments == 3
+
+    def test_rejects_multi_slope_transfer(self):
+        driver = ConventionalDriver()
+        x = np.array([0.0, 100.0, 255.0])
+        y = np.array([0.0, 30.0, 255.0])    # two different non-zero slopes
+        assert not driver.can_realize(x, y)
+        with pytest.raises(ValueError, match="single-band"):
+            driver.program(x, y, 1.0)
+
+    def test_rejects_interior_flat_band(self):
+        driver = ConventionalDriver()
+        x = np.array([0.0, 100.0, 150.0, 255.0])
+        y = np.array([0.0, 100.0, 100.0, 205.0])
+        assert not driver.can_realize(x, y)
+
+    def test_accepts_identity(self):
+        driver = ConventionalDriver()
+        x, y = identity_breakpoints()
+        assert driver.can_realize(x, y)
+
+    def test_accepts_fully_flat(self):
+        driver = ConventionalDriver()
+        x = np.array([0.0, 255.0])
+        y = np.array([128.0, 128.0])
+        assert driver.can_realize(x, y)
+
+    def test_max_segments(self):
+        assert ConventionalDriver().max_segments() == 3
+        assert HierarchicalDriver(n_sources=6).max_segments() == 6
+
+    def test_tap_validation(self):
+        with pytest.raises(ValueError, match="taps"):
+            ConventionalDriver(n_taps=1)

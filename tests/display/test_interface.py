@@ -1,0 +1,117 @@
+"""Unit tests for the video-interface (bus) power model."""
+
+import numpy as np
+import pytest
+
+from repro.display.interface import (
+    VideoBusModel,
+    available_encodings,
+    binary_encode,
+    bus_invert_encode,
+    count_transitions,
+    gray_encode,
+)
+from repro.imaging.image import Image
+
+
+class TestEncoders:
+    def test_binary_is_identity(self):
+        words = np.array([0, 1, 128, 255])
+        assert np.array_equal(binary_encode(words), words)
+
+    def test_gray_code_adjacent_values_differ_in_one_bit(self):
+        words = np.arange(256)
+        encoded = gray_encode(words)
+        toggles = encoded[1:] ^ encoded[:-1]
+        assert all(bin(int(t)).count("1") == 1 for t in toggles)
+
+    def test_gray_code_is_a_bijection(self):
+        words = np.arange(256)
+        assert len(set(gray_encode(words).tolist())) == 256
+
+    def test_bus_invert_never_toggles_more_than_half_plus_one(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 256, size=500)
+        encoded = bus_invert_encode(words, width=8)
+        toggles = encoded[1:] ^ encoded[:-1]
+        worst = max(bin(int(t)).count("1") for t in toggles)
+        assert worst <= 4 + 1   # half the wires + the (modelled) invert line
+
+    def test_bus_invert_reduces_transitions_on_random_data(self):
+        rng = np.random.default_rng(1)
+        words = rng.integers(0, 256, size=2000)
+        plain = count_transitions(binary_encode(words))
+        inverted = count_transitions(bus_invert_encode(words))
+        assert inverted <= plain
+
+
+class TestCountTransitions:
+    def test_no_transitions_for_constant_stream(self):
+        assert count_transitions(np.full(100, 170)) == 0
+
+    def test_known_value(self):
+        # 0x00 -> 0xFF toggles all 8 wires, 0xFF -> 0x0F toggles 4
+        assert count_transitions(np.array([0x00, 0xFF, 0x0F])) == 12
+
+    def test_single_word_stream(self):
+        assert count_transitions(np.array([42])) == 0
+
+    def test_width_mask_applied(self):
+        # only the low 4 bits count at width 4
+        assert count_transitions(np.array([0x00, 0xF1]), width=4) == 1
+
+
+class TestVideoBusModel:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="encoding"):
+            VideoBusModel(encoding="manchester")
+        with pytest.raises(ValueError, match="width"):
+            VideoBusModel(width=0)
+        with pytest.raises(ValueError, match="energy_per_transition"):
+            VideoBusModel(energy_per_transition=0.0)
+        with pytest.raises(ValueError, match="refresh"):
+            VideoBusModel(refresh_hz=0.0)
+
+    def test_available_encodings(self):
+        assert set(available_encodings()) == {"binary", "gray", "bus-invert"}
+
+    def test_flat_frame_costs_nothing(self, flat_image):
+        assert VideoBusModel().frame_energy(flat_image) == 0.0
+
+    def test_noisy_frame_costs_more_than_smooth(self, noisy_image, gradient_image):
+        model = VideoBusModel()
+        assert model.frame_transitions(noisy_image) > \
+            model.frame_transitions(gradient_image)
+
+    def test_power_scales_with_refresh(self, noisy_image):
+        slow = VideoBusModel(refresh_hz=30.0)
+        fast = VideoBusModel(refresh_hz=60.0)
+        assert fast.power(noisy_image) == pytest.approx(
+            2.0 * slow.power(noisy_image))
+
+    def test_gray_encoding_saves_on_smooth_content(self):
+        """Ref. [2]'s observation: video data has spatial locality, so an
+        encoding that maps +-1 level steps to single-bit toggles saves
+        transitions on smooth images."""
+        smooth = Image(np.tile(np.arange(256), (4, 1)))
+        binary = VideoBusModel(encoding="binary")
+        gray = VideoBusModel(encoding="gray")
+        assert gray.saving_versus(smooth, binary) > 0.3
+
+    def test_bus_energy_is_small_versus_display_power(self, lena):
+        """Sanity of the calibration: the interface is a few percent of the
+        display-subsystem power, not a first-order term."""
+        from repro.display.power import DisplayPowerModel
+        bus_power = VideoBusModel().power(lena)
+        display_power = DisplayPowerModel().reference(lena).total
+        assert bus_power < 0.15 * display_power
+        assert bus_power > 0.0
+
+    def test_hebs_barely_changes_bus_energy(self, pipeline, lena):
+        """Backlight scaling and bus encoding are orthogonal: the transformed
+        frame costs about the same to transmit as the original."""
+        model = VideoBusModel()
+        result = pipeline.process_with_range(lena, 150)
+        original_energy = model.frame_energy(lena)
+        transformed_energy = model.frame_energy(result.transformed)
+        assert transformed_energy == pytest.approx(original_energy, rel=0.35)

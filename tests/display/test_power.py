@@ -1,0 +1,70 @@
+"""Unit tests for the display-power accounting used by Table 1 / Fig. 8."""
+
+import pytest
+
+from repro.display.ccfl import LP064V1_CCFL
+from repro.display.panel import LP064V1_PANEL
+from repro.display.power import DisplayPowerModel, PowerBreakdown, power_saving
+from repro.imaging.image import Image
+
+
+class TestPowerBreakdown:
+    def test_total(self):
+        breakdown = PowerBreakdown(ccfl=2.0, panel=1.0)
+        assert breakdown.total == 3.0
+
+    def test_saving_versus(self):
+        reference = PowerBreakdown(ccfl=2.6, panel=1.0)
+        dimmed = PowerBreakdown(ccfl=0.8, panel=1.0)
+        assert dimmed.saving_versus(reference) == pytest.approx(1.8 / 3.6)
+
+    def test_saving_versus_zero_reference(self):
+        assert PowerBreakdown(1.0, 1.0).saving_versus(PowerBreakdown(0.0, 0.0)) == 0.0
+
+
+class TestDisplayPowerModel:
+    def test_reference_uses_full_backlight(self, gradient_image):
+        model = DisplayPowerModel()
+        reference = model.reference(gradient_image)
+        assert reference.ccfl == pytest.approx(LP064V1_CCFL.full_power())
+        assert reference.panel == pytest.approx(
+            LP064V1_PANEL.frame_power(gradient_image))
+
+    def test_ccfl_dominates_panel(self, gradient_image):
+        """Sec. 1: the CCFL dominates the LCD-subsystem power."""
+        reference = DisplayPowerModel().reference(gradient_image)
+        assert reference.ccfl > 2 * reference.panel
+
+    def test_dimming_reduces_total(self, gradient_image):
+        model = DisplayPowerModel()
+        assert model.total(gradient_image, 0.4) < model.total(gradient_image, 1.0)
+
+    def test_saving_percent_range(self, gradient_image, flat_image):
+        model = DisplayPowerModel()
+        saving = model.saving_percent(gradient_image, flat_image, 0.5)
+        assert 0.0 < saving < 100.0
+
+    def test_saving_zero_when_nothing_changes(self, gradient_image):
+        model = DisplayPowerModel()
+        value = model.saving_percent(gradient_image, gradient_image, 1.0)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_fig8_magnitudes(self):
+        """Dimming to beta=220/255 saves ~25-30%, to beta=100/255 ~50-60%
+        of the total display power (the Fig. 8 annotations)."""
+        model = DisplayPowerModel()
+        image = Image.constant(128, shape=(16, 16))
+        mild = model.saving_percent(image, image, 220.0 / 255.0)
+        aggressive = model.saving_percent(image, image, 100.0 / 255.0)
+        assert 20.0 < mild < 35.0
+        assert 45.0 < aggressive < 65.0
+
+    def test_wrapper_matches_model(self, gradient_image, flat_image):
+        model = DisplayPowerModel()
+        assert power_saving(gradient_image, flat_image, 0.5) == pytest.approx(
+            model.saving_percent(gradient_image, flat_image, 0.5))
+
+    def test_backlight_clamped(self, gradient_image):
+        model = DisplayPowerModel()
+        assert model.total(gradient_image, -1.0) == pytest.approx(
+            model.total(gradient_image, model.ccfl.min_factor))

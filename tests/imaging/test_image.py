@@ -1,0 +1,177 @@
+"""Unit tests for the Image container."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.image import Image
+
+
+class TestConstruction:
+    def test_grayscale_shape_and_depth(self):
+        image = Image(np.zeros((4, 6)), bit_depth=8)
+        assert image.height == 4
+        assert image.width == 6
+        assert image.n_channels == 1
+        assert image.is_grayscale
+        assert image.max_level == 255
+        assert image.levels == 256
+
+    def test_rgb_shape(self):
+        image = Image(np.zeros((4, 6, 3)))
+        assert image.n_channels == 3
+        assert not image.is_grayscale
+
+    def test_rejects_wrong_dimensionality(self):
+        with pytest.raises(ValueError, match="expected"):
+            Image(np.zeros((4,)))
+        with pytest.raises(ValueError, match="expected"):
+            Image(np.zeros((2, 2, 3, 1)))
+
+    def test_rejects_wrong_channel_count(self):
+        with pytest.raises(ValueError, match="3 channels"):
+            Image(np.zeros((4, 4, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one pixel"):
+            Image(np.zeros((0, 4)))
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Image(np.full((2, 2), 300), bit_depth=8)
+        with pytest.raises(ValueError, match="out of range"):
+            Image(np.full((2, 2), -1), bit_depth=8)
+
+    def test_rejects_bad_bit_depth(self):
+        with pytest.raises(ValueError, match="bit_depth"):
+            Image(np.zeros((2, 2)), bit_depth=0)
+        with pytest.raises(ValueError, match="bit_depth"):
+            Image(np.zeros((2, 2)), bit_depth=17)
+
+    def test_values_are_rounded_to_integers(self):
+        image = Image(np.array([[1.4, 1.6]]))
+        assert image.pixels.tolist() == [[1, 2]]
+
+    def test_pixels_are_read_only(self):
+        image = Image(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            image.pixels[0, 0] = 5
+
+    def test_ten_bit_image(self):
+        image = Image(np.full((2, 2), 1000), bit_depth=10)
+        assert image.max_level == 1023
+        assert image.max() == 1000
+
+
+class TestConstructors:
+    def test_from_float_quantizes(self):
+        image = Image.from_float(np.array([[0.0, 0.5, 1.0]]))
+        assert image.pixels.tolist() == [[0, 128, 255]]
+
+    def test_from_float_clips(self):
+        image = Image.from_float(np.array([[-0.5, 1.5]]))
+        assert image.pixels.tolist() == [[0, 255]]
+
+    def test_constant(self):
+        image = Image.constant(42, shape=(3, 5))
+        assert image.shape == (3, 5)
+        assert image.min() == image.max() == 42
+
+    def test_constant_name(self):
+        assert Image.constant(1, name="gray").name == "gray"
+
+
+class TestConversions:
+    def test_as_float_range(self, rgb_image):
+        values = rgb_image.as_float()
+        assert values.min() >= 0.0
+        assert values.max() <= 1.0
+        assert values.dtype == np.float64
+
+    def test_as_array_is_writable_copy(self):
+        image = Image(np.zeros((2, 2)))
+        array = image.as_array()
+        array[0, 0] = 7  # must not raise
+        assert image.pixels[0, 0] == 0
+
+    def test_to_grayscale_from_rgb(self, rgb_image):
+        gray = rgb_image.to_grayscale()
+        assert gray.is_grayscale
+        assert gray.shape == (24, 24)
+
+    def test_to_grayscale_idempotent(self, gradient_image):
+        assert gradient_image.to_grayscale() is gradient_image
+
+    def test_to_grayscale_uses_luma_weights(self):
+        pure_red = np.zeros((2, 2, 3))
+        pure_red[:, :, 0] = 255
+        gray = Image(pure_red).to_grayscale()
+        assert gray.pixels[0, 0] == round(0.299 * 255)
+
+    def test_channel_access(self, rgb_image):
+        for index in range(3):
+            channel = rgb_image.channel(index)
+            assert channel.is_grayscale
+            assert np.array_equal(channel.pixels, rgb_image.pixels[:, :, index])
+
+    def test_channel_out_of_range(self, rgb_image, gradient_image):
+        with pytest.raises(IndexError):
+            rgb_image.channel(3)
+        with pytest.raises(IndexError):
+            gradient_image.channel(1)
+
+    def test_channels_iterator(self, rgb_image, gradient_image):
+        assert len(list(rgb_image.channels())) == 3
+        assert len(list(gradient_image.channels())) == 1
+
+    def test_with_pixels_keeps_depth_and_name(self):
+        image = Image(np.zeros((2, 2)), bit_depth=10, name="orig")
+        derived = image.with_pixels(np.full((3, 3), 5))
+        assert derived.bit_depth == 10
+        assert derived.name == "orig"
+        assert derived.shape == (3, 3)
+
+    def test_with_name(self, flat_image):
+        assert flat_image.with_name("other").name == "other"
+
+
+class TestStatistics:
+    def test_min_max_mean_std(self, gradient_image):
+        assert gradient_image.min() == 0
+        assert gradient_image.max() == 255
+        assert gradient_image.dynamic_range() == 255
+        assert 125 < gradient_image.mean() < 130
+        assert gradient_image.std() > 0
+
+    def test_flat_image_statistics(self, flat_image):
+        assert flat_image.dynamic_range() == 0
+        assert flat_image.std() == 0.0
+        assert flat_image.mean() == 128.0
+
+    def test_n_pixels(self, rgb_image):
+        assert rgb_image.n_pixels == 24 * 24
+
+
+class TestDunder:
+    def test_equality(self):
+        a = Image(np.arange(4).reshape(2, 2))
+        b = Image(np.arange(4).reshape(2, 2))
+        c = Image(np.arange(4).reshape(2, 2) + 1)
+        assert a == b
+        assert a != c
+        assert a != "not an image"
+
+    def test_equality_ignores_name(self):
+        a = Image(np.zeros((2, 2)), name="a")
+        b = Image(np.zeros((2, 2)), name="b")
+        assert a == b
+
+    def test_hash_consistent_with_equality(self):
+        a = Image(np.arange(4).reshape(2, 2))
+        b = Image(np.arange(4).reshape(2, 2))
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_size_and_kind(self, rgb_image):
+        text = repr(rgb_image)
+        assert "rgb" in text
+        assert "24x24" in text
+        assert "8-bit" in text

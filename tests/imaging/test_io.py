@@ -1,0 +1,102 @@
+"""Unit tests for PGM/PPM/CSV image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.image import Image
+from repro.imaging.io import (
+    read_csv,
+    read_image,
+    read_pnm,
+    write_csv,
+    write_image,
+    write_pnm,
+)
+
+
+class TestPnmRoundTrip:
+    def test_binary_pgm(self, tmp_path, gradient_image):
+        path = tmp_path / "ramp.pgm"
+        write_pnm(gradient_image, path, binary=True)
+        loaded = read_pnm(path)
+        assert loaded == gradient_image
+        assert loaded.name == "ramp"
+
+    def test_ascii_pgm(self, tmp_path, noisy_image):
+        path = tmp_path / "noise.pgm"
+        write_pnm(noisy_image, path, binary=False)
+        assert read_pnm(path) == noisy_image
+
+    def test_binary_ppm(self, tmp_path, rgb_image):
+        path = tmp_path / "color.ppm"
+        write_pnm(rgb_image, path, binary=True)
+        loaded = read_pnm(path)
+        assert loaded == rgb_image
+        assert not loaded.is_grayscale
+
+    def test_ascii_ppm(self, tmp_path, rgb_image):
+        path = tmp_path / "color.ppm"
+        write_pnm(rgb_image, path, binary=False)
+        assert read_pnm(path) == rgb_image
+
+    def test_sixteen_bit_pgm(self, tmp_path):
+        image = Image(np.array([[0, 1000], [2000, 4095]]), bit_depth=12)
+        path = tmp_path / "deep.pgm"
+        write_pnm(image, path, binary=True)
+        loaded = read_pnm(path)
+        assert np.array_equal(loaded.pixels, image.pixels)
+        assert loaded.bit_depth == 12
+
+    def test_comments_in_header_are_skipped(self, tmp_path):
+        path = tmp_path / "commented.pgm"
+        path.write_bytes(b"P2\n# a comment line\n2 2\n255\n0 64\n128 255\n")
+        loaded = read_pnm(path)
+        assert loaded.pixels.tolist() == [[0, 64], [128, 255]]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"XX\n2 2\n255\n0 0 0 0\n")
+        with pytest.raises(ValueError, match="magic"):
+            read_pnm(path)
+
+    def test_truncated_binary_payload_rejected(self, tmp_path):
+        path = tmp_path / "trunc.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n\x00\x01")
+        with pytest.raises(ValueError, match="truncated"):
+            read_pnm(path)
+
+    def test_truncated_ascii_payload_rejected(self, tmp_path):
+        path = tmp_path / "trunc.pgm"
+        path.write_bytes(b"P2\n4 4\n255\n0 1 2\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_pnm(path)
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path, noisy_image):
+        path = tmp_path / "noise.csv"
+        write_csv(noisy_image, path)
+        assert read_csv(path) == noisy_image
+
+    def test_rgb_rejected(self, tmp_path, rgb_image):
+        with pytest.raises(ValueError, match="grayscale"):
+            write_csv(rgb_image, tmp_path / "rgb.csv")
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("suffix", [".pgm", ".pnm", ".csv"])
+    def test_write_read_by_extension(self, tmp_path, gradient_image, suffix):
+        path = tmp_path / f"image{suffix}"
+        write_image(gradient_image, path)
+        assert read_image(path) == gradient_image
+
+    def test_ppm_extension_for_rgb(self, tmp_path, rgb_image):
+        path = tmp_path / "image.ppm"
+        write_image(rgb_image, path)
+        assert read_image(path) == rgb_image
+
+    def test_unknown_extension_rejected(self, tmp_path, gradient_image):
+        with pytest.raises(ValueError, match="unsupported image format"):
+            write_image(gradient_image, tmp_path / "image.png")
+        with pytest.raises(ValueError, match="unsupported image format"):
+            read_image(tmp_path / "image.png")

@@ -1,0 +1,149 @@
+"""Unit tests for pixel-level operations."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import ops
+from repro.imaging.image import Image
+
+
+class TestToFloatToUint:
+    def test_round_trip(self, gradient_image):
+        values = ops.to_float(gradient_image)
+        back = ops.to_uint(values)
+        assert np.array_equal(back, gradient_image.pixels)
+
+    def test_to_float_raw_array(self):
+        values = ops.to_float(np.array([0, 255]), bit_depth=8)
+        assert values.tolist() == [0.0, 1.0]
+
+    def test_to_uint_clips(self):
+        assert ops.to_uint(np.array([-1.0, 2.0])).tolist() == [0, 255]
+
+    def test_to_uint_other_depth(self):
+        assert ops.to_uint(np.array([1.0]), bit_depth=10).tolist() == [1023]
+
+
+class TestApplyLut:
+    def test_identity_lut(self, gradient_image):
+        lut = np.arange(256)
+        assert ops.apply_lut(gradient_image, lut) == gradient_image
+
+    def test_inversion_lut(self, gradient_image):
+        lut = 255 - np.arange(256)
+        inverted = ops.apply_lut(gradient_image, lut)
+        assert np.array_equal(inverted.pixels, 255 - gradient_image.pixels)
+
+    def test_lut_clipping(self, flat_image):
+        lut = np.full(256, 400.0)
+        assert ops.apply_lut(flat_image, lut).max() == 255
+
+    def test_wrong_lut_length_rejected(self, flat_image):
+        with pytest.raises(ValueError, match="256 entries"):
+            ops.apply_lut(flat_image, np.arange(100))
+
+
+class TestClipPixels:
+    def test_clip_band(self, gradient_image):
+        clipped = ops.clip_pixels(gradient_image, 50, 200)
+        assert clipped.min() == 50
+        assert clipped.max() == 200
+
+    def test_invalid_band_order(self, gradient_image):
+        with pytest.raises(ValueError, match="must not exceed"):
+            ops.clip_pixels(gradient_image, 200, 100)
+
+    def test_band_outside_range(self, gradient_image):
+        with pytest.raises(ValueError, match="outside representable"):
+            ops.clip_pixels(gradient_image, 0, 300)
+
+
+class TestDynamicRange:
+    def test_full_ramp(self, gradient_image):
+        assert ops.dynamic_range(gradient_image) == 255
+        assert ops.occupied_range(gradient_image) == (0, 255)
+
+    def test_flat(self, flat_image):
+        assert ops.dynamic_range(flat_image) == 0
+
+    def test_raw_array(self):
+        assert ops.dynamic_range(np.array([[10, 20], [30, 40]])) == 30
+
+
+class TestBrightnessContrast:
+    def test_brightness_shift_up(self, flat_image):
+        brighter = ops.adjust_brightness(flat_image, 0.1)
+        assert brighter.mean() > flat_image.mean()
+
+    def test_brightness_saturates(self, gradient_image):
+        white = ops.adjust_brightness(gradient_image, 1.5)
+        assert white.min() == 255
+
+    def test_brightness_negative_offset(self, flat_image):
+        darker = ops.adjust_brightness(flat_image, -0.2)
+        assert darker.mean() < flat_image.mean()
+
+    def test_contrast_gain_stretches(self, gradient_image):
+        # gain around mid-gray increases the spread of mid values
+        stretched = ops.adjust_contrast(gradient_image, 2.0, pivot=0.5)
+        assert stretched.std() >= gradient_image.std() * 0.9
+
+    def test_contrast_zero_gain_collapses(self, gradient_image):
+        collapsed = ops.adjust_contrast(gradient_image, 0.0, pivot=0.5)
+        assert collapsed.dynamic_range() == 0
+
+    def test_contrast_negative_gain_rejected(self, gradient_image):
+        with pytest.raises(ValueError, match="non-negative"):
+            ops.adjust_contrast(gradient_image, -1.0)
+
+    def test_contrast_about_origin_matches_eq2b(self):
+        image = Image(np.array([[0, 64, 128, 255]]))
+        scaled = ops.adjust_contrast(image, 2.0, pivot=0.0)
+        assert scaled.pixels.tolist() == [[0, 128, 255, 255]]
+
+
+class TestNormalize:
+    def test_stretches_to_full_range(self):
+        image = Image(np.array([[50, 100], [150, 200]]))
+        normalized = ops.normalize(image)
+        assert normalized.min() == 0
+        assert normalized.max() == 255
+
+    def test_flat_image_unchanged(self, flat_image):
+        assert ops.normalize(flat_image) == flat_image
+
+
+class TestSaturationFraction:
+    def test_no_saturation_for_identity(self, gradient_image):
+        assert ops.saturation_fraction(gradient_image, gradient_image) == 0.0
+
+    def test_full_saturation(self, flat_image):
+        white = Image.constant(255, shape=flat_image.shape)
+        assert ops.saturation_fraction(flat_image, white) == 1.0
+
+    def test_partial_saturation(self):
+        original = Image(np.array([[100, 200], [100, 200]]))
+        transformed = Image(np.array([[100, 255], [100, 255]]))
+        assert ops.saturation_fraction(original, transformed) == 0.5
+
+    def test_shape_mismatch(self, flat_image, gradient_image):
+        with pytest.raises(ValueError, match="same shape"):
+            ops.saturation_fraction(flat_image, gradient_image)
+
+
+class TestQuantizeLevels:
+    def test_two_levels_is_threshold(self, gradient_image):
+        binary = ops.quantize_levels(gradient_image, 2)
+        assert set(np.unique(binary.pixels)) == {0, 255}
+
+    def test_many_levels_is_near_identity(self, gradient_image):
+        fine = ops.quantize_levels(gradient_image, 256)
+        assert np.abs(fine.pixels.astype(int) - gradient_image.pixels.astype(int)).max() <= 1
+
+    def test_reduces_distinct_levels(self, noisy_image):
+        coarse = ops.quantize_levels(noisy_image, 8)
+        assert len(np.unique(coarse.pixels)) <= 8
+
+    def test_rejects_single_level(self, flat_image):
+        with pytest.raises(ValueError, match="two quantization levels"):
+            ops.quantize_levels(flat_image, 1)

@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic USC-SIPI stand-in benchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.synthetic import (
+    BENCHMARK_SPECS,
+    TABLE1_DISPLAY_NAMES,
+    SyntheticImageSpec,
+    benchmark_names,
+    benchmark_suite,
+    generate,
+    load_benchmark,
+)
+
+
+class TestSpecs:
+    def test_nineteen_table1_benchmarks(self):
+        assert len(benchmark_names()) == 19
+        assert set(benchmark_names()) == set(TABLE1_DISPLAY_NAMES)
+
+    def test_expected_names_present(self):
+        for name in ("lena", "peppers", "baboon", "pout", "testpat", "elaine"):
+            assert name in BENCHMARK_SPECS
+
+    def test_spec_validation_unknown_scene(self):
+        with pytest.raises(ValueError, match="unknown scene"):
+            SyntheticImageSpec("x", "spaceship", key=0.5, contrast=0.5)
+
+    def test_spec_validation_key_range(self):
+        with pytest.raises(ValueError, match="key"):
+            SyntheticImageSpec("x", "portrait", key=1.5, contrast=0.5)
+
+    def test_spec_validation_contrast_range(self):
+        with pytest.raises(ValueError, match="contrast"):
+            SyntheticImageSpec("x", "portrait", key=0.5, contrast=0.0)
+
+    def test_spec_validation_size(self):
+        with pytest.raises(ValueError, match="size"):
+            SyntheticImageSpec("x", "portrait", key=0.5, contrast=0.5, size=(4, 4))
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        first = load_benchmark("lena")
+        second = load_benchmark("lena")
+        assert first == second
+
+    def test_different_names_differ(self):
+        assert load_benchmark("lena") != load_benchmark("peppers")
+
+    def test_case_insensitive_lookup(self):
+        assert load_benchmark("Lena") == load_benchmark("lena")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("nonexistent")
+
+    def test_custom_size(self):
+        image = load_benchmark("lena", size=(32, 48))
+        assert image.shape == (32, 48)
+
+    def test_custom_bit_depth(self):
+        image = load_benchmark("lena", bit_depth=10)
+        assert image.bit_depth == 10
+        assert image.max() <= 1023
+
+    def test_all_images_grayscale_and_named(self):
+        for name, image in benchmark_suite(size=(32, 32)).items():
+            assert image.is_grayscale
+            assert image.name == name
+
+    def test_generate_matches_load(self):
+        spec = BENCHMARK_SPECS["baboon"]
+        assert generate(spec) == load_benchmark("baboon")
+
+
+class TestStatisticalCharacter:
+    """The suite must span the histogram variety the paper's argument needs."""
+
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return benchmark_suite()
+
+    def test_means_match_key_roughly(self, suite):
+        for name, image in suite.items():
+            key = BENCHMARK_SPECS[name].key
+            assert abs(image.mean() / 255.0 - key) < 0.15, name
+
+    def test_low_key_image_is_darker_than_average(self, suite):
+        assert suite["pout"].mean() < np.mean([im.mean() for im in suite.values()])
+
+    def test_texture_images_have_wide_histograms(self, suite):
+        assert suite["baboon"].std() > suite["pout"].std()
+
+    def test_test_pattern_covers_full_range(self, suite):
+        assert suite["testpat"].min() == 0
+        assert suite["testpat"].max() == 255
+
+    def test_photo_like_contrast(self, suite):
+        """Most benchmarks should have photo-like spread (std 30..100 levels)."""
+        stds = [image.std() for image in suite.values()]
+        assert min(stds) > 20
+        assert max(stds) < 110
+
+    def test_suite_spans_narrow_and_wide_ranges(self, suite):
+        ranges = sorted(image.dynamic_range() for image in suite.values())
+        assert ranges[-1] == 255          # someone touches both ends
+        assert ranges[0] < 255            # someone does not

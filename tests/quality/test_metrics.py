@@ -1,0 +1,127 @@
+"""Unit tests for the pixel/histogram distortion metrics."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.image import Image
+from repro.imaging.ops import adjust_brightness, clip_pixels
+from repro.quality.metrics import (
+    contrast_fidelity,
+    histogram_l1_distance,
+    mean_absolute_error,
+    mse,
+    psnr,
+    rmse,
+    saturation_percentage,
+)
+
+
+class TestMse:
+    def test_zero_for_identical(self, gradient_image):
+        assert mse(gradient_image, gradient_image) == 0.0
+        assert rmse(gradient_image, gradient_image) == 0.0
+        assert mean_absolute_error(gradient_image, gradient_image) == 0.0
+
+    def test_known_value(self):
+        black = Image.constant(0, shape=(4, 4))
+        white = Image.constant(255, shape=(4, 4))
+        assert mse(black, white) == pytest.approx(1.0)
+        assert rmse(black, white) == pytest.approx(1.0)
+
+    def test_rmse_is_sqrt_of_mse(self, gradient_image, noisy_image):
+        shifted = adjust_brightness(gradient_image, 0.1)
+        assert rmse(gradient_image, shifted) == pytest.approx(
+            np.sqrt(mse(gradient_image, shifted)))
+
+    def test_shape_mismatch_rejected(self, gradient_image, flat_image):
+        with pytest.raises(ValueError, match="shapes differ"):
+            mse(gradient_image, flat_image)
+
+    def test_symmetry(self, gradient_image):
+        shifted = adjust_brightness(gradient_image, 0.05)
+        assert mse(gradient_image, shifted) == pytest.approx(
+            mse(shifted, gradient_image))
+
+
+class TestPsnr:
+    def test_infinite_for_identical(self, flat_image):
+        assert psnr(flat_image, flat_image) == float("inf")
+
+    def test_higher_for_smaller_error(self, gradient_image):
+        small = adjust_brightness(gradient_image, 0.02)
+        large = adjust_brightness(gradient_image, 0.2)
+        assert psnr(gradient_image, small) > psnr(gradient_image, large)
+
+    def test_known_value_for_full_scale_error(self):
+        black = Image.constant(0, shape=(4, 4))
+        white = Image.constant(255, shape=(4, 4))
+        assert psnr(black, white) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSaturationPercentage:
+    def test_zero_for_identity(self, gradient_image):
+        assert saturation_percentage(gradient_image, gradient_image) == 0.0
+
+    def test_counts_only_newly_saturated(self):
+        original = Image(np.array([[0, 128], [255, 64]]))
+        transformed = Image(np.array([[0, 255], [255, 255]]))
+        # two of the four pixels were interior and are now at an extreme
+        assert saturation_percentage(original, transformed) == pytest.approx(50.0)
+
+    def test_brightness_shift_saturates_bright_pixels(self, gradient_image):
+        shifted = adjust_brightness(gradient_image, 0.3)
+        assert saturation_percentage(gradient_image, shifted) > 10.0
+
+    def test_shape_mismatch(self, gradient_image, flat_image):
+        with pytest.raises(ValueError, match="same shape"):
+            saturation_percentage(gradient_image, flat_image)
+
+
+class TestContrastFidelity:
+    def test_perfect_for_identity(self, noisy_image):
+        assert contrast_fidelity(noisy_image, noisy_image) == 1.0
+
+    def test_perfect_for_pure_brightness_shift_without_saturation(self):
+        image = Image(np.arange(100, 140).reshape(5, 8))
+        shifted = Image(image.as_array() + 20)
+        assert contrast_fidelity(image, shifted) == 1.0
+
+    def test_degrades_when_band_clipped(self, gradient_image):
+        clipped = clip_pixels(gradient_image, 100, 150)
+        assert contrast_fidelity(gradient_image, clipped) < 0.8
+
+    def test_tolerance_relaxes_the_measure(self, gradient_image):
+        # mild requantization: small local contrast errors
+        halved = Image((gradient_image.as_array() // 2) * 2)
+        strict = contrast_fidelity(gradient_image, halved, tolerance=0)
+        relaxed = contrast_fidelity(gradient_image, halved, tolerance=2)
+        assert relaxed >= strict
+
+    def test_flat_image_trivially_faithful(self, flat_image):
+        assert contrast_fidelity(flat_image, flat_image) == 1.0
+
+
+class TestHistogramDistance:
+    def test_zero_for_identical(self, noisy_image):
+        assert histogram_l1_distance(noisy_image, noisy_image) == 0.0
+
+    def test_one_for_disjoint(self):
+        black = Image.constant(0, shape=(4, 4))
+        white = Image.constant(255, shape=(4, 4))
+        assert histogram_l1_distance(black, white) == pytest.approx(1.0)
+
+    def test_invariant_to_pixel_permutation(self, noisy_image):
+        rng = np.random.default_rng(0)
+        shuffled = noisy_image.with_pixels(
+            rng.permutation(noisy_image.pixels.reshape(-1)).reshape(
+                noisy_image.shape))
+        assert histogram_l1_distance(noisy_image, shuffled) == 0.0
+
+    def test_bit_depth_mismatch_rejected(self, flat_image):
+        deep = Image.constant(128, shape=(32, 32), bit_depth=10)
+        with pytest.raises(ValueError, match="bit depth"):
+            histogram_l1_distance(flat_image, deep)
+
+    def test_bounded_by_one(self, gradient_image, checker_image):
+        resized = Image(np.tile(checker_image.pixels, (2, 2)))
+        assert 0.0 <= histogram_l1_distance(gradient_image, resized) <= 1.0

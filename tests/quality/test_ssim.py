@@ -1,0 +1,62 @@
+"""Unit tests for the SSIM measure."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.image import Image
+from repro.imaging.ops import adjust_brightness, adjust_contrast
+from repro.quality.ssim import ssim, ssim_map
+from repro.quality.uqi import universal_quality_index
+
+
+class TestSsim:
+    def test_identical_images_score_one(self, lena):
+        assert ssim(lena, lena) == pytest.approx(1.0)
+
+    def test_bounded(self, lena):
+        inverted = lena.with_pixels(255 - lena.as_array())
+        assert -1.0 <= ssim(lena, inverted) <= 1.0
+
+    def test_symmetric(self, lena):
+        shifted = adjust_brightness(lena, 0.1)
+        assert ssim(lena, shifted) == pytest.approx(ssim(shifted, lena), abs=1e-9)
+
+    def test_monotone_in_degradation(self, lena):
+        mild = adjust_brightness(lena, 0.05)
+        severe = adjust_brightness(lena, 0.3)
+        assert ssim(lena, severe) < ssim(lena, mild)
+
+    def test_contrast_loss_detected(self, lena):
+        washed = adjust_contrast(lena, 0.3, pivot=0.5)
+        assert ssim(lena, washed) < 0.98
+
+    def test_stabilized_on_flat_images(self, flat_image):
+        # UQI's flat-window handling needs special cases; SSIM's constants
+        # make it well defined directly.
+        other = Image.constant(129, shape=flat_image.shape)
+        value = ssim(flat_image, other)
+        assert 0.9 < value <= 1.0
+
+    def test_close_to_uqi_for_textured_images(self, baboon):
+        shifted = adjust_brightness(baboon, 0.05)
+        assert ssim(baboon, shifted) == pytest.approx(
+            universal_quality_index(baboon, shifted), abs=0.05)
+
+
+class TestSsimMap:
+    def test_map_shape(self, lena):
+        assert ssim_map(lena, lena, window=8).shape == (lena.height - 7,
+                                                        lena.width - 7)
+
+    def test_shape_mismatch(self, lena, flat_image):
+        with pytest.raises(ValueError, match="shapes differ"):
+            ssim_map(lena, flat_image)
+
+    def test_window_validation(self, lena):
+        with pytest.raises(ValueError, match="at least 2"):
+            ssim_map(lena, lena, window=1)
+
+    def test_map_bounded(self, lena, pout):
+        values = ssim_map(lena, pout)
+        assert values.max() <= 1.0 + 1e-9
+        assert values.min() >= -1.0 - 1e-9

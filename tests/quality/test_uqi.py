@@ -1,0 +1,124 @@
+"""Unit tests for the Universal image Quality Index."""
+
+import numpy as np
+import pytest
+
+from repro.imaging.image import Image
+from repro.imaging.ops import adjust_brightness, adjust_contrast
+from repro.quality.uqi import (
+    universal_quality_index,
+    uqi_components_map,
+    uqi_map,
+)
+
+
+class TestGlobalIndex:
+    def test_identical_images_score_one(self, lena):
+        assert universal_quality_index(lena, lena) == pytest.approx(1.0)
+
+    def test_bounded(self, lena, noisy_image):
+        inverted = lena.with_pixels(255 - lena.as_array())
+        value = universal_quality_index(lena, inverted)
+        assert -1.0 <= value <= 1.0
+
+    def test_inverted_image_scores_negative(self, lena):
+        inverted = lena.with_pixels(255 - lena.as_array())
+        assert universal_quality_index(lena, inverted) < 0.0
+
+    def test_symmetric(self, lena):
+        shifted = adjust_brightness(lena, 0.1)
+        forward = universal_quality_index(lena, shifted)
+        backward = universal_quality_index(shifted, lena)
+        assert forward == pytest.approx(backward, abs=1e-9)
+
+    def test_brightness_shift_reduces_quality(self, lena):
+        shifted = adjust_brightness(lena, 0.15)
+        assert universal_quality_index(lena, shifted) < 1.0
+
+    def test_contrast_loss_reduces_quality(self, lena):
+        washed = adjust_contrast(lena, 0.3, pivot=0.5)
+        assert universal_quality_index(lena, washed) < 0.95
+
+    def test_larger_distortion_scores_lower(self, lena):
+        mild = adjust_brightness(lena, 0.05)
+        severe = adjust_brightness(lena, 0.3)
+        assert universal_quality_index(lena, severe) < \
+            universal_quality_index(lena, mild)
+
+    def test_rgb_inputs_are_converted(self, rgb_image):
+        assert universal_quality_index(rgb_image, rgb_image) == pytest.approx(1.0)
+
+
+class TestMap:
+    def test_map_shape(self, lena):
+        quality = uqi_map(lena, lena, window=8)
+        assert quality.shape == (lena.height - 7, lena.width - 7)
+
+    def test_window_validation(self, lena, flat_image):
+        with pytest.raises(ValueError, match="at least 2"):
+            uqi_map(lena, lena, window=1)
+        with pytest.raises(ValueError, match="larger than image"):
+            uqi_map(flat_image, flat_image, window=64)
+
+    def test_shape_mismatch(self, lena, flat_image):
+        with pytest.raises(ValueError, match="shapes differ"):
+            uqi_map(lena, flat_image)
+
+    def test_flat_windows_score_one(self, flat_image):
+        assert np.allclose(uqi_map(flat_image, flat_image), 1.0)
+
+    def test_local_degradation_is_localized(self, gradient_image):
+        damaged = gradient_image.as_array()
+        damaged[:16, :16] = 128  # destroy one corner
+        quality = uqi_map(gradient_image, gradient_image.with_pixels(damaged))
+        assert quality[:4, :4].mean() < quality[-4:, -4:].mean()
+
+
+class TestComponents:
+    def test_identity_components_are_one(self, lena):
+        correlation, luminance, contrast = uqi_components_map(lena, lena)
+        assert np.allclose(correlation, 1.0)
+        assert np.allclose(luminance, 1.0)
+        assert np.allclose(contrast, 1.0)
+
+    def test_product_matches_uqi_map_generically(self, lena):
+        shifted = adjust_brightness(lena, 0.08)
+        correlation, luminance, contrast = uqi_components_map(lena, shifted)
+        product = correlation * luminance * contrast
+        direct = uqi_map(lena, shifted)
+        # identical up to the flat-window conventions, which affect few windows
+        difference = np.abs(product - direct)
+        assert np.median(difference) < 1e-9
+        assert np.mean(difference < 1e-6) > 0.95
+
+    def test_brightness_shift_hits_luminance_only(self):
+        ramp = Image(np.tile(np.arange(40, 120), (64, 1)))
+        shifted = Image(ramp.as_array() + 60)
+        correlation, luminance, contrast = uqi_components_map(ramp, shifted)
+        assert np.allclose(correlation, 1.0, atol=1e-6)
+        assert np.allclose(contrast, 1.0, atol=1e-6)
+        assert luminance.mean() < 0.99
+
+    def test_contrast_scaling_hits_contrast_only(self):
+        ramp = Image(np.tile(np.arange(100, 164), (64, 1)))
+        # halve the spread around the mean without moving it
+        values = (ramp.as_array().astype(float) - 132) * 0.5 + 132
+        squeezed = Image(values)
+        correlation, luminance, contrast = uqi_components_map(ramp, squeezed)
+        # quantizing the squeezed ramp back to integer levels costs a little
+        # correlation, but the contrast factor must take the dominant hit
+        assert correlation.mean() > 0.93
+        assert luminance.mean() > 0.99
+        assert contrast.mean() < 0.9
+
+    def test_structure_destroyed_by_flattening(self, gradient_image):
+        flat = Image.constant(128, shape=gradient_image.shape)
+        correlation, _, contrast = uqi_components_map(gradient_image, flat)
+        assert np.allclose(correlation, 0.0)
+        assert np.allclose(contrast, 0.0)
+
+    def test_components_are_bounded(self, lena, baboon):
+        correlation, luminance, contrast = uqi_components_map(lena, baboon)
+        assert correlation.min() >= -1.0 and correlation.max() <= 1.0
+        assert luminance.min() >= 0.0 and luminance.max() <= 1.0 + 1e-12
+        assert contrast.min() >= 0.0 and contrast.max() <= 1.0 + 1e-12

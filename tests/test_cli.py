@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.imaging.image import Image
+from repro.imaging.io import read_image, write_image
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["benchmarks"])
+        assert args.command == "benchmarks"
+
+    def test_process_defaults(self):
+        args = build_parser().parse_args(["process", "lena"])
+        assert args.budget == 10.0
+        assert args.adaptive is False
+        assert args.output is None
+
+    def test_experiment_choices_validated(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "not-an-experiment"])
+        capsys.readouterr()
+
+    def test_missing_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+        capsys.readouterr()
+
+
+class TestBenchmarksCommand:
+    def test_lists_all_nineteen(self, capsys):
+        assert main(["benchmarks"]) == 0
+        output = capsys.readouterr().out
+        assert "lena" in output
+        assert "testpat" in output
+        assert output.count("128x128") == 19
+
+
+class TestProcessCommand:
+    def test_process_builtin_benchmark(self, capsys):
+        assert main(["process", "pout", "--budget", "15"]) == 0
+        output = capsys.readouterr().out
+        assert "backlight factor" in output
+        assert "power saving %" in output
+        assert "reference voltages" in output
+
+    def test_process_file_and_write_output(self, tmp_path, capsys, lena):
+        source = tmp_path / "input.pgm"
+        write_image(lena, source)
+        destination = tmp_path / "output.pgm"
+        assert main(["process", str(source), "--budget", "12",
+                     "--adaptive", "--output", str(destination)]) == 0
+        capsys.readouterr()
+        transformed = read_image(destination)
+        assert transformed.shape == lena.shape
+        assert transformed.dynamic_range() <= lena.dynamic_range()
+
+    def test_unknown_source_errors(self, capsys):
+        with pytest.raises(SystemExit, match="neither a benchmark"):
+            main(["process", "/does/not/exist.pgm"])
+        capsys.readouterr()
+
+
+class TestCharacterizeCommand:
+    def test_characterize_directory(self, tmp_path, capsys):
+        rng = np.random.default_rng(3)
+        for index in range(3):
+            image = Image(rng.integers(0, 256, size=(32, 32)),
+                          name=f"img{index}")
+            write_image(image, tmp_path / f"img{index}.pgm")
+        assert main(["characterize", "--directory", str(tmp_path),
+                     "--measure", "rmse"]) == 0
+        output = capsys.readouterr().out
+        assert "Distortion characteristic curve" in output
+        assert "Budget -> minimum admissible dynamic range" in output
+
+    def test_empty_directory_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="no supported images"):
+            main(["characterize", "--directory", str(tmp_path)])
+        capsys.readouterr()
+
+
+class TestExperimentCommand:
+    def test_fig2_series(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "grayscale_spreading" in output
+
+    def test_fig6a_coefficients(self, capsys):
+        assert main(["experiment", "fig6a"]) == 0
+        output = capsys.readouterr().out
+        assert "Cs=" in output or "Cs" in output

@@ -1,0 +1,113 @@
+"""End-to-end integration tests spanning the whole stack.
+
+These tests wire together pieces that the unit tests exercise separately:
+the HEBS pipeline programming the LCD controller, the frame-path simulation
+confirming the perceived image matches the pipeline's transformed image, and
+a small end-to-end "photo viewer" scenario comparing HEBS against the
+baselines on the same budget.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cbcs import CBCS
+from repro.baselines.dls import DLSContrast
+from repro.display.controller import FrameBuffer, LCDController
+from repro.imaging.io import read_image, write_image
+from repro.quality.distortion import effective_distortion
+from repro.quality.uqi import universal_quality_index
+
+
+class TestPipelineDrivesController:
+    def test_programmed_controller_reproduces_pipeline_output(self, pipeline, lena):
+        """Loading the HEBS driver program into the LCD controller and
+        displaying the *original* frame must emit the luminance of the
+        pipeline's transformed image at the dimmed backlight."""
+        result = pipeline.process_with_range(lena, 150)
+        controller = LCDController()
+        controller.load_program(result.driver_program)
+        frame = controller.display(lena)
+
+        assert frame.backlight_factor == pytest.approx(result.backlight_factor)
+        # The driver program boosts pixel values by 1/beta (Eq. 10) and the
+        # backlight is dimmed to beta, so the emitted luminance equals the
+        # range-compressed image Lambda(F) at full backlight.
+        expected_luminance = result.transformed.as_float()
+        assert np.abs(frame.luminance - expected_luminance).mean() < 0.02
+        # and the power the controller accounts matches the pipeline's number
+        assert frame.ccfl_power == pytest.approx(result.power.ccfl, rel=1e-6)
+
+    def test_controller_luminance_close_to_original(self, pipeline, lena):
+        """The whole point of compensation: the dimmed, compensated display
+        keeps the image recognizable.  Histogram equalization does remap the
+        absolute luminances (a brightness/contrast change the HVS adapts to),
+        so the invariants checked are a bounded mean luminance error and a
+        near-perfect rank (structural) correlation with the original."""
+        result = pipeline.process_with_range(lena, 200)
+        controller = LCDController()
+        controller.load_program(result.driver_program)
+        frame = controller.display(lena)
+        original_luminance = lena.as_float()
+        assert np.abs(frame.luminance - original_luminance).mean() < 0.2
+        correlation = np.corrcoef(frame.luminance.reshape(-1),
+                                  original_luminance.reshape(-1))[0, 1]
+        assert correlation > 0.95
+
+    def test_video_stream_through_frame_buffer(self, pipeline, small_suite):
+        """Push several frames through the buffer with per-frame programs."""
+        controller = LCDController()
+        buffer = FrameBuffer(capacity=len(small_suite))
+        for image in small_suite.values():
+            buffer.push(image)
+        total_power = 0.0
+        while not buffer.is_empty:
+            frame_image = buffer.pop()
+            result = pipeline.process_adaptive(frame_image, 15.0)
+            controller.load_program(result.driver_program)
+            displayed = controller.display(frame_image)
+            total_power += displayed.total_power
+            assert displayed.backlight_factor < 1.0
+        controller.reset()
+        reference_power = sum(
+            LCDController().display(image).total_power
+            for image in small_suite.values())
+        assert total_power < reference_power
+
+
+class TestCrossMethodComparison:
+    def test_hebs_beats_baselines_on_the_same_image_and_budget(self, pipeline,
+                                                               lena):
+        budget = 10.0
+        hebs = pipeline.process_adaptive(lena, budget)
+        dls = DLSContrast().optimize(lena, budget)
+        cbcs = CBCS().optimize(lena, budget)
+        assert hebs.distortion <= budget + 1e-6
+        assert hebs.power_saving_percent >= dls.power_saving_percent - 1e-6
+        assert hebs.power_saving_percent >= cbcs.power_saving_percent - 1e-6
+
+    def test_all_methods_preserve_visual_quality_at_small_budget(self, pipeline,
+                                                                 lena):
+        budget = 5.0
+        hebs = pipeline.process_adaptive(lena, budget)
+        dls = DLSContrast().optimize(lena, budget)
+        assert universal_quality_index(lena, hebs.transformed) > 0.5
+        assert universal_quality_index(lena, dls.perceived) > 0.5
+
+
+class TestFileRoundTripScenario:
+    def test_process_an_image_loaded_from_disk(self, tmp_path, pipeline, lena):
+        """A user workflow: write a PGM, read it back, run HEBS, save the
+        transformed output, and verify the saved file."""
+        source_path = tmp_path / "photo.pgm"
+        write_image(lena, source_path)
+        loaded = read_image(source_path)
+        assert loaded == lena
+
+        result = pipeline.process(loaded, 10.0)
+        output_path = tmp_path / "photo_hebs.pgm"
+        write_image(result.transformed, output_path)
+
+        reread = read_image(output_path)
+        assert reread == result.transformed
+        assert effective_distortion(loaded, reread) == pytest.approx(
+            result.distortion, abs=1e-6)
