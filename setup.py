@@ -1,0 +1,10 @@
+"""Setuptools shim — all metadata lives in pyproject.toml.
+
+Kept so `python setup.py develop` still works in offline environments where
+pip's PEP-660 editable install path is unavailable (it needs the `wheel`
+package); `pip install -e .` is the normal route.
+"""
+
+from setuptools import setup
+
+setup()

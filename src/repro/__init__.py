@@ -28,30 +28,40 @@ Sub-packages
     Regression fits, parameter sweeps and table/series rendering.
 ``repro.bench``
     The experiment harness: one callable per paper table / figure.
+``repro.api``
+    The unified serving surface: the :class:`~repro.api.engine.Engine`
+    facade, the algorithm registry and the histogram-keyed solution cache.
+    This is the canonical entry point; the per-technique classes remain the
+    implementation layer underneath.
 
 Quickstart
 ----------
->>> from repro import bench, imaging
->>> pipeline = bench.default_pipeline()
+>>> from repro import Engine, imaging
+>>> engine = Engine()                       # default algorithm: "hebs"
 >>> image = imaging.load_benchmark("lena")
->>> result = pipeline.process(image, max_distortion=10.0)
->>> round(result.backlight_factor, 2) <= 1.0
+>>> result = engine.process(image, max_distortion=10.0)
+>>> 0.0 < result.backlight_factor <= 1.0
 True
 """
 
-from repro import analysis, baselines, bench, core, display, imaging, quality
+from repro import analysis, api, baselines, bench, core, display, imaging, quality
+from repro.api.engine import Engine
+from repro.api.types import CompensationResult
 from repro.core.pipeline import HEBS, HEBSConfig, HEBSResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "baselines",
     "bench",
     "core",
     "display",
     "imaging",
     "quality",
+    "Engine",
+    "CompensationResult",
     "HEBS",
     "HEBSConfig",
     "HEBSResult",

@@ -1,0 +1,62 @@
+"""Unified serving API: one pluggable, batched, cache-accelerated surface.
+
+This package is the canonical way to *use* the reproduction.  Every
+backlight-scaling technique — HEBS and all the baselines it is compared
+against — sits behind one contract and one facade:
+
+>>> from repro.api import Engine
+>>> engine = Engine()                          # default algorithm: "hebs"
+>>> result = engine.process(image, max_distortion=10.0)
+>>> result.backlight_factor, result.power_saving_percent    # doctest: +SKIP
+
+Modules
+-------
+:mod:`repro.api.types`
+    The normalized :class:`CompensationResult` / :class:`CompensationSolution`
+    records all techniques produce.
+:mod:`repro.api.registry`
+    The :class:`CompensationAlgorithm` contract, the adapters wrapping HEBS
+    (curve-driven, adaptive, and the equalization variants), DLS and CBCS,
+    and the name registry (:func:`register` / :func:`create` /
+    :func:`available_algorithms`).
+:mod:`repro.api.cache`
+    The histogram-keyed LRU solution cache exploiting the paper's Fig. 4
+    observation that the transform depends only on histogram and budget.
+:mod:`repro.api.engine`
+    The :class:`Engine` facade: ``process`` / ``process_batch`` /
+    ``process_stream`` with cache statistics.
+"""
+
+from repro.api.cache import CacheStats, SolutionCache, histogram_signature
+from repro.api.engine import Engine
+from repro.api.registry import (
+    BaselineAlgorithm,
+    CompensationAlgorithm,
+    HEBSAlgorithm,
+    algorithm_descriptions,
+    available_algorithms,
+    create,
+    register,
+)
+from repro.api.types import (
+    CompensationResult,
+    CompensationSolution,
+    StreamFrameResult,
+)
+
+__all__ = [
+    "Engine",
+    "CompensationAlgorithm",
+    "HEBSAlgorithm",
+    "BaselineAlgorithm",
+    "CompensationResult",
+    "CompensationSolution",
+    "StreamFrameResult",
+    "CacheStats",
+    "SolutionCache",
+    "histogram_signature",
+    "register",
+    "create",
+    "available_algorithms",
+    "algorithm_descriptions",
+]

@@ -1,0 +1,147 @@
+"""Histogram-keyed LRU cache for compensation solutions.
+
+The paper's real-time flow (Fig. 4) rests on one observation: the HEBS
+transformation depends only on the image *histogram* and the distortion
+budget, never on the pixel layout.  Two frames with (approximately) the same
+histogram therefore share the same solved transformation, backlight factor
+and driver program — everything in a
+:class:`~repro.api.types.CompensationSolution`.  The prior techniques share
+the property: the DLS policy search and the CBCS band placement are
+histogram statistics too.
+
+:func:`histogram_signature` quantizes a histogram into a compact byte key —
+coarse on the level axis (``bins`` buckets) and on the count axis (fixed-
+point probabilities) so near-identical frames (consecutive video frames, the
+same photo at a different resolution) collapse onto one entry.
+:class:`SolutionCache` is a plain LRU dictionary over such keys with hit /
+miss counters, surfaced by the engine as :class:`CacheStats`.
+
+A cache *hit* replays the stored solution onto the new image; distortion and
+power are always re-measured on the actual pixels, so for a genuinely
+identical image the hit result is bitwise-identical to a cold run.  For
+merely similar images the reuse is the approximation the paper's real-time
+flow already makes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.histogram import Histogram
+
+__all__ = ["histogram_signature", "CacheStats", "SolutionCache"]
+
+#: Fixed-point resolution of the probability quantization: probabilities are
+#: rounded to multiples of 1/4096 (12 bits), so histograms differing by less
+#: than ~0.025% of the pixel mass in every bucket share a signature.
+_PROBABILITY_STEPS = 4096
+
+
+def histogram_signature(histogram: Histogram, bins: int = 64) -> bytes:
+    """A compact, quantized byte signature of a histogram.
+
+    Parameters
+    ----------
+    histogram:
+        The marginal pixel-value distribution to fingerprint.
+    bins:
+        Number of coarse buckets on the grayscale axis.  ``bins`` equal to
+        (or above) the level count keeps full level resolution; smaller
+        values make the signature — and therefore the cache — more tolerant
+        of small content changes.
+    """
+    if bins < 1:
+        raise ValueError("bins must be at least 1")
+    probabilities = histogram.probabilities()
+    if bins < histogram.levels:
+        edges = np.linspace(0, histogram.levels, bins + 1).astype(np.int64)
+        probabilities = np.add.reduceat(probabilities, edges[:-1])
+    quantized = np.rint(probabilities * _PROBABILITY_STEPS).astype(np.uint16)
+    return quantized.tobytes()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`SolutionCache` at one point in time."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+    evictions: int
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SolutionCache:
+    """A bounded least-recently-used mapping from cache keys to solutions.
+
+    Keys are opaque hashables (the engine combines the algorithm name, the
+    quantized histogram signature and the budget); values are
+    :class:`~repro.api.types.CompensationSolution` instances.  Not thread
+    safe — wrap access in a lock if the engine is shared across threads.
+    """
+
+    def __init__(self, max_size: int = 256) -> None:
+        if max_size < 1:
+            raise ValueError("max_size must be at least 1")
+        self.max_size = int(max_size)
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def get(self, key: object):
+        """The cached solution for ``key``, or ``None`` (counts hit/miss)."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: object, value: object) -> None:
+        """Store ``value`` under ``key``, evicting the LRU entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        """A snapshot of the hit/miss/eviction counters."""
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._entries),
+            max_size=self.max_size,
+            evictions=self._evictions,
+        )

@@ -1,0 +1,267 @@
+"""The :class:`Engine` facade: batched, streamed, cache-accelerated serving.
+
+One object, three entry points:
+
+* :meth:`Engine.process` — compensate a single image under a distortion
+  budget with any registered algorithm, consulting a histogram-keyed LRU
+  solution cache first (the paper's Fig. 4 real-time flow, memoized).
+* :meth:`Engine.process_batch` — compensate many images.  Images are
+  grouped by their quantized histogram signature so each distinct histogram
+  is solved exactly once (even on a cold cache) and the per-image work
+  collapses to a LUT application plus power/distortion accounting.
+* :meth:`Engine.process_stream` — compensate a frame sequence for video
+  playback: hooks the temporal machinery of :mod:`repro.core.temporal`
+  (backlight smoothing, slew limiting, scene-change detection) around the
+  cached per-frame policy so the backlight never flickers.
+
+The engine is the canonical way to use this package; the per-technique
+classes (:class:`~repro.core.pipeline.HEBS`, the baselines) remain available
+as the implementation layer underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.api.cache import CacheStats, SolutionCache, histogram_signature
+from repro.api.registry import CompensationAlgorithm, create
+from repro.api.types import CompensationResult, StreamFrameResult
+from repro.core.histogram import Histogram
+from repro.core.temporal import BacklightSmoother, SceneChangeDetector
+from repro.imaging.image import Image
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Unified, cache-accelerated entry point for all compensation algorithms.
+
+    Parameters
+    ----------
+    algorithm:
+        Default algorithm for calls that don't name one: a registry name or
+        a ready :class:`~repro.api.registry.CompensationAlgorithm` instance.
+    cache_size:
+        Capacity of the histogram-keyed LRU solution cache.  ``0`` disables
+        caching entirely.
+    signature_bins:
+        Grayscale-axis resolution of the histogram quantization used for
+        cache keys (see :func:`repro.api.cache.histogram_signature`).
+        Smaller values make the cache more tolerant of small content
+        changes; ``256`` keys on the exact 8-bit histogram.
+    algorithm_options:
+        Keyword options forwarded to the registry factory whenever the
+        engine instantiates an algorithm from a name (e.g. ``measure=``).
+
+    Notes
+    -----
+    A cache hit reuses the solved transformation / backlight factor /
+    driver program; distortion and power are always re-measured on the
+    actual pixels.  For an identical image the hit result is therefore
+    bitwise-identical to a cold run; for merely histogram-similar images the
+    reuse is the approximation the paper's real-time flow already makes.
+    """
+
+    def __init__(self, algorithm: str | CompensationAlgorithm = "hebs", *,
+                 cache_size: int = 256, signature_bins: int = 256,
+                 algorithm_options: Mapping[str, object] | None = None) -> None:
+        if signature_bins < 1:
+            raise ValueError("signature_bins must be at least 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.signature_bins = int(signature_bins)
+        self._options = dict(algorithm_options or {})
+        self._algorithms: dict[str, CompensationAlgorithm] = {}
+        self._cache = SolutionCache(cache_size) if cache_size else None
+        self._processed = 0
+        if isinstance(algorithm, CompensationAlgorithm):
+            self.default_algorithm = algorithm.name
+            self._algorithms[algorithm.name] = algorithm
+        else:
+            self.default_algorithm = algorithm
+
+    # ------------------------------------------------------------------ #
+    # algorithm resolution
+    # ------------------------------------------------------------------ #
+    def algorithm(self, name: str | CompensationAlgorithm | None = None,
+                  ) -> CompensationAlgorithm:
+        """The (memoized) algorithm instance for ``name``.
+
+        Accepts a registry name, a ready instance (adopted under its own
+        name), or ``None`` for the engine default.
+        """
+        if isinstance(name, CompensationAlgorithm):
+            self._algorithms[name.name] = name
+            return name
+        key = self.default_algorithm if name is None else name
+        if key not in self._algorithms:
+            self._algorithms[key] = create(key, **self._options)
+        return self._algorithms[key]
+
+    # ------------------------------------------------------------------ #
+    # cache plumbing
+    # ------------------------------------------------------------------ #
+    def _cache_key(self, algorithm: CompensationAlgorithm,
+                   histogram: Histogram, max_distortion: float) -> tuple:
+        signature = histogram_signature(histogram, bins=self.signature_bins)
+        return (algorithm.name, signature, round(float(max_distortion), 6))
+
+    def _solve(self, algorithm: CompensationAlgorithm, grayscale: Image,
+               max_distortion: float):
+        """Look up or derive the solution; returns ``(solution, from_cache)``."""
+        if self._cache is None:
+            return algorithm.solve(grayscale, max_distortion), False
+        key = self._cache_key(algorithm, Histogram.of_image(grayscale),
+                              max_distortion)
+        solution = self._cache.get(key)
+        if solution is not None:
+            return solution, True
+        solution = algorithm.solve(grayscale, max_distortion)
+        self._cache.put(key, solution)
+        return solution, False
+
+    # ------------------------------------------------------------------ #
+    # entry points
+    # ------------------------------------------------------------------ #
+    def process(self, image: Image, max_distortion: float,
+                algorithm: str | CompensationAlgorithm | None = None,
+                ) -> CompensationResult:
+        """Compensate one image under a distortion budget."""
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        algo = self.algorithm(algorithm)
+        grayscale = image.to_grayscale()
+        solution, hit = self._solve(algo, grayscale, max_distortion)
+        result = algo.apply_solution(solution, grayscale,
+                                     max_distortion=max_distortion)
+        self._processed += 1
+        return replace(result, from_cache=hit) if hit else result
+
+    def process_batch(self, images: Iterable[Image], max_distortion: float,
+                      algorithm: str | CompensationAlgorithm | None = None,
+                      ) -> list[CompensationResult]:
+        """Compensate a batch of images, solving each distinct histogram once.
+
+        Images are grouped by their quantized histogram signature; each
+        group shares one solve (and one driver program), so a batch with
+        repeated content costs one solve plus N cheap LUT applications.
+        Results come back in input order and are identical to calling
+        :meth:`process` per image.  With caching disabled (``cache_size=0``)
+        no grouping happens either: every image is solved independently.
+        """
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        algo = self.algorithm(algorithm)
+        grayscales = [image.to_grayscale() for image in images]
+
+        if self._cache is None:
+            results = [
+                algo.apply_solution(algo.solve(grayscale, max_distortion),
+                                    grayscale, max_distortion=max_distortion)
+                for grayscale in grayscales
+            ]
+            self._processed += len(grayscales)
+            return results
+
+        # group by cache key so every distinct histogram is solved once
+        groups: dict[tuple, list[int]] = {}
+        for index, grayscale in enumerate(grayscales):
+            key = self._cache_key(algo, Histogram.of_image(grayscale),
+                                  max_distortion)
+            groups.setdefault(key, []).append(index)
+
+        results: list[CompensationResult | None] = [None] * len(grayscales)
+        for key, indices in groups.items():
+            solution = self._cache.get(key)
+            hit = solution is not None
+            if not hit:
+                solution = algo.solve(grayscales[indices[0]], max_distortion)
+                self._cache.put(key, solution)
+            for position, index in enumerate(indices):
+                result = algo.apply_solution(solution, grayscales[index],
+                                             max_distortion=max_distortion)
+                # every group member past the first replays the shared solve;
+                # count it as a cache hit so the stats match the avoided work
+                if position > 0:
+                    self._cache.get(key)
+                if hit or position > 0:
+                    result = replace(result, from_cache=True)
+                results[index] = result
+        self._processed += len(grayscales)
+        return list(results)
+
+    def process_stream(self, frames: Iterable[Image], max_distortion: float,
+                       algorithm: str | CompensationAlgorithm | None = None, *,
+                       smoother: BacklightSmoother | None = None,
+                       scene_detector: SceneChangeDetector | None = None,
+                       rederive: bool = True,
+                       ) -> Iterator[StreamFrameResult]:
+        """Compensate a frame stream with temporal backlight filtering.
+
+        For each frame the per-frame policy (cache-accelerated, like
+        :meth:`process`) proposes a backlight factor; the
+        :class:`~repro.core.temporal.BacklightSmoother` smooths and
+        slew-limits it so consecutive frames never flicker, and the
+        :class:`~repro.core.temporal.SceneChangeDetector` flags cuts.  When
+        smoothing moves the factor and ``rederive`` is set, the
+        transformation is re-derived at the applied factor via the
+        algorithm's ``at_backlight`` hook (falling back to the raw result
+        for algorithms without one).
+
+        Yields one :class:`~repro.api.types.StreamFrameResult` per frame,
+        lazily, so arbitrarily long streams run in constant memory.
+        """
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        algo = self.algorithm(algorithm)
+        smoother = smoother or BacklightSmoother()
+        scene_detector = scene_detector or SceneChangeDetector()
+
+        for frame in frames:
+            grayscale = frame.to_grayscale()
+            scene_change = scene_detector.observe(grayscale)
+            raw = self.process(grayscale, max_distortion, algorithm=algo)
+            applied = smoother.update(raw.backlight_factor)
+
+            result = raw
+            applied_factor = applied
+            if rederive and abs(applied - raw.backlight_factor) > 1e-9:
+                try:
+                    result = algo.at_backlight(grayscale, applied,
+                                               max_distortion=max_distortion)
+                except NotImplementedError:
+                    pass
+                else:
+                    # re-derivation quantizes the factor (e.g. to the
+                    # grayscale-range grid); keep the smoother honest about
+                    # what was actually programmed
+                    applied_factor = result.backlight_factor
+                    smoother.reset(applied_factor)
+            yield StreamFrameResult(
+                result=result,
+                requested_backlight=raw.backlight_factor,
+                applied_backlight=applied_factor,
+                scene_change=scene_change,
+            )
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss counters of the solution cache (zeros when disabled)."""
+        if self._cache is None:
+            return CacheStats(hits=0, misses=0, size=0, max_size=0,
+                              evictions=0)
+        return self._cache.stats
+
+    @property
+    def processed(self) -> int:
+        """Number of images compensated through this engine so far."""
+        return self._processed
+
+    def clear_cache(self) -> None:
+        """Drop all cached solutions and reset the counters."""
+        if self._cache is not None:
+            self._cache.clear()

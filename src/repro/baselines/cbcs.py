@@ -104,8 +104,13 @@ class CBCS:
                                         self.power_model.panel.transmissivity)
         return float(self.measure(grayscale, candidate))
 
-    def optimize(self, image: Image, max_distortion: float) -> BaselineResult:
-        """Pick the narrowest band (most dimming) that respects the budget."""
+    def solve(self, image: Image, max_distortion: float):
+        """The budget-optimal ``(band transform, beta)`` pair for ``image``.
+
+        The policy half of :meth:`optimize` — the part the :mod:`repro.api`
+        solution cache stores, since both the search and the band placement
+        depend on the image only through its histogram.
+        """
         grayscale = image.to_grayscale()
         beta = find_minimum_backlight(
             lambda candidate: self.distortion_at(grayscale, candidate),
@@ -113,8 +118,14 @@ class CBCS:
             min_factor=self.min_factor,
             tolerance=self.search_tolerance,
         )
+        return self.band_for(grayscale, beta), beta
+
+    def optimize(self, image: Image, max_distortion: float) -> BaselineResult:
+        """Pick the narrowest band (most dimming) that respects the budget."""
+        grayscale = image.to_grayscale()
+        transform, beta = self.solve(grayscale, max_distortion)
         return build_result(
-            self.method_name, grayscale, self.band_for(grayscale, beta), beta,
+            self.method_name, grayscale, transform, beta,
             self.measure, max_distortion, self.power_model)
 
     def apply(self, image: Image, beta: float) -> BaselineResult:

@@ -81,8 +81,12 @@ class _DLSBase:
                                         self.power_model.panel.transmissivity)
         return float(self.measure(grayscale, candidate))
 
-    def optimize(self, image: Image, max_distortion: float) -> BaselineResult:
-        """Pick the most aggressive dimming that respects the budget."""
+    def solve(self, image: Image, max_distortion: float):
+        """The budget-optimal ``(transform, beta)`` pair for ``image``.
+
+        This is the image-independent half of :meth:`optimize` (the policy
+        search); it is what the :mod:`repro.api` solution cache stores.
+        """
         grayscale = image.to_grayscale()
         beta = find_minimum_backlight(
             lambda candidate: self.distortion_at(grayscale, candidate),
@@ -90,8 +94,14 @@ class _DLSBase:
             min_factor=self.min_factor,
             tolerance=self.search_tolerance,
         )
+        return self.transform_for(beta), beta
+
+    def optimize(self, image: Image, max_distortion: float) -> BaselineResult:
+        """Pick the most aggressive dimming that respects the budget."""
+        grayscale = image.to_grayscale()
+        transform, beta = self.solve(grayscale, max_distortion)
         return build_result(
-            self.method_name, grayscale, self.transform_for(beta), beta,
+            self.method_name, grayscale, transform, beta,
             self.measure, max_distortion, self.power_model)
 
     def apply(self, image: Image, beta: float) -> BaselineResult:

@@ -17,6 +17,8 @@ from repro.analysis.regression import (
     fit_two_piece_linear,
 )
 from repro.analysis.reporting import Table
+from repro.api.engine import Engine
+from repro.api.registry import BaselineAlgorithm, HEBSAlgorithm
 from repro.baselines.cbcs import CBCS
 from repro.baselines.dls import DLSBrightness, DLSContrast
 from repro.bench.suite import benchmark_images, default_curve, default_pipeline
@@ -77,6 +79,7 @@ def table1_power_saving(
     """
     images = images if images is not None else benchmark_images()
     pipeline = pipeline or default_pipeline()
+    engine = Engine(HEBSAlgorithm(pipeline, adaptive=adaptive))
 
     columns = ["image"] + [f"saving@{level:g}%" for level in distortion_levels]
     table = Table(
@@ -90,11 +93,7 @@ def table1_power_saving(
         row: dict[str, object] = {
             "image": TABLE1_DISPLAY_NAMES.get(name, name)}
         for level in distortion_levels:
-            if adaptive:
-                result = pipeline.process_adaptive(image, level)
-            else:
-                result = pipeline.process(image, level)
-            saving = result.power_saving_percent
+            saving = engine.process(image, level).power_saving_percent
             row[f"saving@{level:g}%"] = saving
             per_level_totals[level].append(saving)
         rows.append(row)
@@ -306,11 +305,12 @@ def comparison_vs_baselines(
     """
     images = images if images is not None else benchmark_images()
     pipeline = pipeline or default_pipeline(measure=measure)
+    engine = Engine()
     methods = {
-        "hebs": None,
-        "dls-brightness": DLSBrightness(measure=measure),
-        "dls-contrast": DLSContrast(measure=measure),
-        "cbcs": CBCS(measure=measure),
+        "hebs": HEBSAlgorithm(pipeline, adaptive=True, name="hebs"),
+        "dls-brightness": BaselineAlgorithm(DLSBrightness(measure=measure)),
+        "dls-contrast": BaselineAlgorithm(DLSContrast(measure=measure)),
+        "cbcs": BaselineAlgorithm(CBCS(measure=measure)),
     }
 
     savings: dict[str, list[float]] = {name: [] for name in methods}
@@ -318,14 +318,8 @@ def comparison_vs_baselines(
     distortions: dict[str, list[float]] = {name: [] for name in methods}
 
     for image in images.values():
-        hebs_result = pipeline.process_adaptive(image, max_distortion)
-        savings["hebs"].append(hebs_result.power_saving_percent)
-        factors["hebs"].append(hebs_result.backlight_factor)
-        distortions["hebs"].append(hebs_result.distortion)
         for name, method in methods.items():
-            if method is None:
-                continue
-            result = method.optimize(image, max_distortion)
+            result = engine.process(image, max_distortion, algorithm=method)
             savings[name].append(result.power_saving_percent)
             factors[name].append(result.backlight_factor)
             distortions[name].append(result.distortion)

@@ -29,6 +29,7 @@ __all__ = [
     "benchmark_names",
     "default_curve",
     "default_pipeline",
+    "default_engine",
     "clear_caches",
     "DEFAULT_IMAGE_SIZE",
 ]
@@ -81,6 +82,40 @@ def default_pipeline(size: tuple[int, int] = DEFAULT_IMAGE_SIZE,
                      config: HEBSConfig | None = None) -> HEBS:
     """A ready-to-use HEBS pipeline characterized on the default suite."""
     return HEBS(default_curve(size=size, measure=measure), config=config)
+
+
+def default_engine(size: tuple[int, int] = DEFAULT_IMAGE_SIZE,
+                   measure: str = "effective",
+                   algorithm: str = "hebs",
+                   cache_size: int = 256,
+                   signature_bins: int = 256):
+    """A fresh :class:`~repro.api.engine.Engine` over the default suite.
+
+    The engine itself is new on every call (it carries mutable cache state),
+    but it shares the session-cached characterization curve, so construction
+    is cheap after the first call.
+    """
+    # deferred import: repro.api builds its default algorithms on this module
+    from repro.api.engine import Engine
+    from repro.api.registry import HEBSAlgorithm
+
+    # every factory accepts measure=, so baseline algorithms created by
+    # name share the distortion measure of the pre-wired HEBS entries
+    engine = Engine(algorithm=algorithm, cache_size=cache_size,
+                    signature_bins=signature_bins,
+                    algorithm_options={"measure": measure})
+    # pre-wire all HEBS entries onto pipelines characterized at the
+    # requested size/measure (the by-name factories ignore `size`)
+    pipeline = default_pipeline(size=size, measure=measure)
+    engine.algorithm(HEBSAlgorithm(pipeline, adaptive=False, name="hebs"))
+    engine.algorithm(HEBSAlgorithm(pipeline, adaptive=True,
+                                   name="hebs-adaptive"))
+    for equalization in ("clipped", "bbhe"):
+        variant = default_pipeline(size=size, measure=measure,
+                                   config=HEBSConfig(equalization=equalization))
+        engine.algorithm(HEBSAlgorithm(variant,
+                                       name=f"hebs-{equalization}"))
+    return engine
 
 
 def clear_caches() -> None:

@@ -1,0 +1,111 @@
+"""Throughput benchmark: the engine's batch+cache path versus the naive loop.
+
+The production workloads sketched in ``examples/`` (photo viewers, video
+playback) repeatedly show content with recurring histograms — the same photo
+re-displayed, consecutive frames of a still scene.  The naive per-image loop
+re-runs the full HEBS derivation (GHE solve, PLC dynamic program, driver
+programming) for every single image; the :class:`~repro.api.engine.Engine`
+solves each distinct histogram once and replays the cached solution as a
+cheap LUT application.
+
+:func:`throughput_benchmark` times both paths on a repeated-histogram
+workload, verifies the outputs are identical, and reports images/second and
+the speedup.  ``repro experiment throughput`` runs it from the CLI and
+``benchmarks/test_throughput.py`` guards the speedup in CI.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.bench.suite import benchmark_images, default_engine
+from repro.imaging.image import Image
+
+__all__ = ["repeated_workload", "throughput_benchmark"]
+
+#: Default subset used for the repeated workload — small enough to keep the
+#: CI benchmark fast, varied enough to exercise several distinct solutions.
+DEFAULT_WORKLOAD_IMAGES: tuple[str, ...] = ("lena", "peppers", "baboon",
+                                            "pout")
+
+
+def repeated_workload(image_names: Sequence[str] = DEFAULT_WORKLOAD_IMAGES,
+                      repeats: int = 8) -> list[Image]:
+    """A workload of ``len(image_names) * repeats`` images with repeated
+    histograms — each base image appears ``repeats`` times, interleaved the
+    way a slideshow loop would replay an album."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    base = list(benchmark_images(names=tuple(image_names)).values())
+    return [image for _ in range(repeats) for image in base]
+
+
+def throughput_benchmark(
+    image_names: Sequence[str] = DEFAULT_WORKLOAD_IMAGES,
+    repeats: int = 8,
+    max_distortion: float = 10.0,
+    algorithm: str = "hebs",
+) -> Table:
+    """Time the naive per-image loop against the engine's batched path.
+
+    Both paths process the same repeated-histogram workload with the same
+    algorithm and budget; outputs are asserted identical before any timing
+    is reported.  Returns a table with one row per path (plus the warm-cache
+    replay) carrying wall time, images/second and speedup over the naive
+    loop.
+    """
+    workload = repeated_workload(image_names, repeats)
+    n_images = len(workload)
+    engine = default_engine(algorithm=algorithm)
+    algo = engine.algorithm(algorithm)
+
+    # naive path: the pre-API calling convention — every image pays the
+    # full derivation (same algorithm instance, no cache, no grouping)
+    start = time.perf_counter()
+    naive = [algo.compensate(image, max_distortion) for image in workload]
+    naive_seconds = time.perf_counter() - start
+
+    # batched path, cold cache: one solve per distinct histogram
+    start = time.perf_counter()
+    batched = engine.process_batch(workload, max_distortion,
+                                   algorithm=algorithm)
+    cold_seconds = time.perf_counter() - start
+
+    # batched path, warm cache: every solve is a hit
+    start = time.perf_counter()
+    warm = engine.process_batch(workload, max_distortion, algorithm=algorithm)
+    warm_seconds = time.perf_counter() - start
+
+    for candidates in (batched, warm):
+        for expected, actual in zip(naive, candidates):
+            if not np.array_equal(expected.output.pixels,
+                                  actual.output.pixels):
+                raise AssertionError(
+                    "engine output diverged from the naive loop")
+
+    stats = engine.cache_stats
+    table = Table(
+        title=(f"Throughput on {n_images} images "
+               f"({len(tuple(image_names))} distinct histograms x {repeats}, "
+               f"budget {max_distortion:g}%, algorithm {algorithm})"),
+        columns=("path", "seconds", "images_per_s", "speedup", "cache_hits"),
+        precision=3,
+    )
+    rows = [
+        {"path": "naive per-image loop", "seconds": naive_seconds,
+         "images_per_s": n_images / naive_seconds, "speedup": 1.0,
+         "cache_hits": 0},
+        {"path": "engine batch (cold cache)", "seconds": cold_seconds,
+         "images_per_s": n_images / cold_seconds,
+         "speedup": naive_seconds / cold_seconds,
+         "cache_hits": n_images - len(tuple(image_names))},
+        {"path": "engine batch (warm cache)", "seconds": warm_seconds,
+         "images_per_s": n_images / warm_seconds,
+         "speedup": naive_seconds / warm_seconds,
+         "cache_hits": stats.hits},
+    ]
+    return table.with_rows(rows)

@@ -1,12 +1,20 @@
 """Command-line interface for the HEBS reproduction.
 
-Installed as ``python -m repro``; four subcommands cover the common
-workflows:
+Installed as ``repro`` (console script) and ``python -m repro``; the
+subcommands cover the common workflows:
 
 ``process``
-    Run HEBS on one image (a built-in benchmark name or a PGM/PPM/CSV file),
-    print the selected dynamic range / backlight factor / power saving, and
-    optionally write the transformed image.
+    Run any registered algorithm on one image (a built-in benchmark name or
+    a PGM/PPM/CSV file) through the unified :mod:`repro.api` engine, print
+    the backlight factor / distortion / power saving, and optionally write
+    the compensated image.
+
+``batch``
+    Run a whole set of images through :meth:`Engine.process_batch` and print
+    per-image results plus the solution-cache statistics.
+
+``algorithms``
+    List the algorithms registered with :mod:`repro.api.registry`.
 
 ``characterize``
     Build the distortion characteristic curve for a directory of images (or
@@ -15,7 +23,8 @@ workflows:
 
 ``experiment``
     Re-run one of the paper experiments (``table1``, ``fig2`` ... ``fig8``,
-    ``comparison``, ``abl-m``, ``abl-dist``) and print the reproduced rows.
+    ``comparison``, ``abl-m``, ``abl-dist``, ``throughput``) and print the
+    reproduced rows.
 
 ``benchmarks``
     List the built-in synthetic benchmark images with their statistics.
@@ -29,9 +38,12 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.reporting import Table
+from repro.api.registry import algorithm_descriptions, available_algorithms
 from repro.bench import experiments as paper_experiments
-from repro.bench.suite import benchmark_images, default_pipeline
+from repro.bench.suite import benchmark_images, default_engine
+from repro.bench.throughput import throughput_benchmark
 from repro.core.distortion_curve import build_distortion_curve
+from repro.core.pipeline import HEBSResult
 from repro.imaging.io import read_image, write_image
 from repro.imaging.synthetic import benchmark_names
 from repro.quality.distortion import available_measures
@@ -52,6 +64,7 @@ _EXPERIMENTS = {
     "abl-dist": paper_experiments.ablation_distortion_measures,
     "abl-eq": paper_experiments.ablation_equalization_methods,
     "interface": paper_experiments.interface_encoding_study,
+    "throughput": throughput_benchmark,
 }
 
 
@@ -75,33 +88,103 @@ def _print(text: str) -> None:
 # --------------------------------------------------------------------- #
 # subcommand implementations
 # --------------------------------------------------------------------- #
+def _resolve_algorithm(args: argparse.Namespace) -> str:
+    """The registry name implied by ``--algorithm`` / legacy ``--adaptive``."""
+    algorithm = args.algorithm
+    if getattr(args, "adaptive", False):
+        if algorithm not in ("hebs", "hebs-adaptive"):
+            raise SystemExit(
+                f"error: --adaptive is HEBS-specific and cannot be combined "
+                f"with --algorithm {algorithm}")
+        algorithm = "hebs-adaptive"
+    return algorithm
+
+
 def _cmd_process(args: argparse.Namespace) -> int:
     image = _load_image(args.image).to_grayscale()
-    pipeline = default_pipeline()
-    if args.adaptive:
-        result = pipeline.process_adaptive(image, args.budget)
-    else:
-        result = pipeline.process(image, args.budget)
+    algorithm = _resolve_algorithm(args)
+    engine = default_engine(algorithm=algorithm)
+    result = engine.process(image, args.budget)
 
-    table = Table(
-        title=f"HEBS on {args.image} (budget {args.budget:g}%)",
-        columns=("quantity", "value"),
-        precision=3,
-    ).with_rows([
-        {"quantity": "dynamic range", "value": result.target_range},
+    rows = [
+        {"quantity": "algorithm", "value": result.algorithm},
         {"quantity": "backlight factor", "value": result.backlight_factor},
         {"quantity": "achieved distortion %", "value": result.distortion},
         {"quantity": "power saving %", "value": result.power_saving_percent},
-        {"quantity": "PLC segments", "value": result.coarse_curve.n_segments},
-        {"quantity": "PLC mse", "value": result.coarse_curve.mean_squared_error},
-    ])
+    ]
+    if isinstance(result.details, HEBSResult):
+        rows[1:1] = [{"quantity": "dynamic range",
+                      "value": result.details.target_range}]
+        rows.extend([
+            {"quantity": "PLC segments",
+             "value": result.details.coarse_curve.n_segments},
+            {"quantity": "PLC mse",
+             "value": result.details.coarse_curve.mean_squared_error},
+        ])
+    table = Table(
+        title=f"{result.algorithm} on {args.image} (budget {args.budget:g}%)",
+        columns=("quantity", "value"),
+        precision=3,
+    ).with_rows(rows)
     _print(table.render())
-    _print("reference voltages (V): "
-           + ", ".join(f"{float(v):.3f}"
-                       for v in result.driver_program.reference_voltages))
+    if result.driver_program is not None:
+        _print("reference voltages (V): "
+               + ", ".join(f"{float(v):.3f}"
+                           for v in result.driver_program.reference_voltages))
     if args.output:
-        write_image(result.transformed, args.output)
+        write_image(result.output, args.output)
         _print(f"transformed image written to {args.output}")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.images:
+        images = [_load_image(source).to_grayscale()
+                  for source in args.images]
+        labels = list(args.images)
+    else:
+        suite = benchmark_images()
+        images = list(suite.values())
+        labels = list(suite)
+    images = images * max(args.repeat, 1)
+    labels = labels * max(args.repeat, 1)
+
+    engine = default_engine(algorithm=args.algorithm)
+    results = engine.process_batch(images, args.budget,
+                                   algorithm=args.algorithm)
+
+    table = Table(
+        title=(f"{args.algorithm} batch: {len(images)} images at a "
+               f"{args.budget:g}% budget"),
+        columns=("image", "backlight", "distortion%", "saving%", "cached"),
+        precision=3,
+    ).with_rows(
+        {
+            "image": label,
+            "backlight": result.backlight_factor,
+            "distortion%": result.distortion,
+            "saving%": result.power_saving_percent,
+            "cached": "yes" if result.from_cache else "no",
+        }
+        for label, result in zip(labels, results)
+    )
+    _print(table.render())
+    stats = engine.cache_stats
+    _print(f"solution cache: {stats.hits} hits / {stats.misses} misses "
+           f"(hit rate {100.0 * stats.hit_rate:.1f}%, size {stats.size})")
+    return 0
+
+
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    del args
+    table = Table(
+        title="Registered compensation algorithms (repro.api.registry)",
+        columns=("name", "description"),
+    ).with_rows(
+        {"name": name, "description": description}
+        for name, description in algorithm_descriptions().items()
+    )
+    _print(table.render())
     return 0
 
 
@@ -201,15 +284,37 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     process = subparsers.add_parser(
-        "process", help="run HEBS on one image")
+        "process", help="run a compensation algorithm on one image")
     process.add_argument("image", help="benchmark name or image file path")
     process.add_argument("--budget", type=float, default=10.0,
                          help="maximum tolerable distortion in percent")
+    process.add_argument("--algorithm", default="hebs",
+                         choices=available_algorithms(),
+                         help="registered algorithm to run (default: hebs)")
     process.add_argument("--adaptive", action="store_true",
-                         help="select the dynamic range per image (bisection) "
-                              "instead of using the characteristic curve")
+                         help="shorthand for --algorithm hebs-adaptive "
+                              "(per-image range bisection)")
     process.add_argument("--output", help="write the transformed image here")
     process.set_defaults(func=_cmd_process)
+
+    batch = subparsers.add_parser(
+        "batch", help="run a batch of images through the engine")
+    batch.add_argument("images", nargs="*",
+                       help="benchmark names or image file paths "
+                            "(default: the whole built-in suite)")
+    batch.add_argument("--budget", type=float, default=10.0,
+                       help="maximum tolerable distortion in percent")
+    batch.add_argument("--algorithm", default="hebs",
+                       choices=available_algorithms(),
+                       help="registered algorithm to run (default: hebs)")
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="process the set this many times (exercises the "
+                            "solution cache)")
+    batch.set_defaults(func=_cmd_batch)
+
+    algorithms = subparsers.add_parser(
+        "algorithms", help="list the registered compensation algorithms")
+    algorithms.set_defaults(func=_cmd_algorithms)
 
     characterize = subparsers.add_parser(
         "characterize", help="build a distortion characteristic curve")
@@ -238,7 +343,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return int(args.func(args))
+    try:
+        return int(args.func(args))
+    except ValueError as exc:
+        # invalid operating points (negative budget, out-of-range factors)
+        # become a clean error instead of a traceback
+        raise SystemExit(f"error: {exc}") from exc
 
 
 if __name__ == "__main__":   # pragma: no cover

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.distortion_curve import DistortionCharacteristicCurve
 from repro.core.equalization import GHEResult, equalize_histogram
+from repro.core.histogram import Histogram
 from repro.core.plc import (
     PiecewiseLinearCurve,
     coarsen_transform,
@@ -36,7 +37,7 @@ from repro.display.power import DisplayPowerModel, PowerBreakdown
 from repro.imaging.image import Image
 from repro.quality.distortion import DistortionMeasure, get_measure
 
-__all__ = ["HEBSConfig", "HEBSResult", "HEBS"]
+__all__ = ["HEBSConfig", "HEBSResult", "HEBSSolution", "HEBS"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +67,11 @@ class HEBSConfig:
         Number of controllable voltage sources of the hierarchical driver.
     vdd:
         Driver supply voltage.
+    equalization:
+        Name of the equalization method used in step 2 (``"ghe"``,
+        ``"clipped"`` or ``"bbhe"`` — see
+        :mod:`repro.core.equalization_variants`).  All methods honour the
+        same range-compression contract, so steps 3 and 4 are unchanged.
     """
 
     n_segments: int = 8
@@ -74,6 +80,7 @@ class HEBSConfig:
     distortion_measure: str = "effective"
     driver_sources: int = 8
     vdd: float = 3.3
+    equalization: str = "ghe"
 
     def __post_init__(self) -> None:
         if self.n_segments < 1:
@@ -156,6 +163,50 @@ class HEBSResult:
         }
 
 
+@dataclass(frozen=True)
+class HEBSSolution:
+    """The image-independent part of a HEBS run (the paper's Fig. 4 insight).
+
+    Steps 1-3 of the pipeline — range selection, equalization and PLC — plus
+    the driver programming depend only on the image *histogram* and the
+    distortion budget, never on the pixel layout.  A solution can therefore
+    be derived once per (histogram, budget) pair and replayed onto any image
+    with a matching histogram by :meth:`HEBS.apply_solution`; this is what
+    the :mod:`repro.api` engine caches.
+
+    Attributes
+    ----------
+    target_range:
+        The dynamic range ``R`` selected in step 1.
+    backlight_factor:
+        The dimming factor ``beta``.
+    ghe:
+        The exact equalization solution (step 2).
+    coarse_curve:
+        The PLC solution (step 3) in grayscale-level coordinates.
+    transform:
+        ``Lambda`` as a normalized piecewise-linear transform.
+    driver_program:
+        The programmed reference voltages (Eq. 10).
+    max_distortion:
+        The budget the solution was derived for (``None`` when the range was
+        chosen explicitly).
+    """
+
+    target_range: int
+    backlight_factor: float
+    ghe: GHEResult
+    coarse_curve: PiecewiseLinearCurve
+    transform: PiecewiseLinearTransform
+    driver_program: DriverProgram
+    max_distortion: float | None = None
+
+    @property
+    def levels(self) -> int:
+        """Number of grayscale levels the solution was derived for."""
+        return self.ghe.source_histogram.levels
+
+
 class HEBS:
     """Histogram Equalization for Backlight Scaling (the paper's algorithm).
 
@@ -188,6 +239,12 @@ class HEBS:
         )
         self._measure: DistortionMeasure = get_measure(
             self.config.distortion_measure)
+        if self.config.equalization == "ghe":
+            self._equalizer = equalize_histogram
+        else:
+            # deferred import: equalization_variants depends on core.equalization
+            from repro.core.equalization_variants import get_equalizer
+            self._equalizer = get_equalizer(self.config.equalization)
 
     # ------------------------------------------------------------------ #
     # step 1: distortion budget -> dynamic range -> backlight factor
@@ -220,15 +277,20 @@ class HEBS:
     # ------------------------------------------------------------------ #
     # steps 2-4
     # ------------------------------------------------------------------ #
-    def process_with_range(self, image: Image, target_range: int,
-                           max_distortion: float | None = None) -> HEBSResult:
-        """Run steps 2-4 for an explicitly chosen dynamic range.
+    def solve_range(self, source: Image | Histogram, target_range: int,
+                    max_distortion: float | None = None) -> HEBSSolution:
+        """Derive the transformation and driver program for a dynamic range.
 
-        Used directly by the Fig. 8 experiment (which fixes R to 220 and
-        100) and internally by :meth:`process`.
+        Runs steps 2-3 plus the driver programming of step 4 — everything
+        that depends only on the histogram, not on the pixel layout.  Accepts
+        a bare :class:`~repro.core.histogram.Histogram`, which is all the
+        real-time flow of Fig. 4 needs.
         """
-        grayscale = image.to_grayscale()
-        levels = grayscale.levels
+        if isinstance(source, Histogram):
+            histogram = source
+        else:
+            histogram = Histogram.of_image(source.to_grayscale())
+        levels = histogram.levels
         if levels != self.curve.levels:
             raise ValueError(
                 f"image has {levels} levels but the pipeline was characterized "
@@ -244,36 +306,72 @@ class HEBS:
         g_min = self.config.g_min
         g_max = g_min + target_range
 
-        # step 2: exact GHE transformation
-        ghe = equalize_histogram(grayscale, g_min, g_max)
+        # step 2: exact equalization transformation (GHE by default)
+        ghe = self._equalizer(histogram, g_min, g_max)
 
         # step 3: piecewise linear coarsening
         coarse = coarsen_transform(ghe.transform, self.config.n_segments)
         transform = kband_spreading_function(coarse, levels=levels)
 
-        # step 4: apply Lambda, program the driver, dim the backlight
-        transformed = transform.apply(grayscale)
+        # step 4 (driver half): program the reference voltages (Eq. 10)
         program = self.driver.program(
             np.asarray(coarse.x), np.asarray(coarse.y), beta)
 
-        distortion = float(self._measure(grayscale, transformed))
-        power = self.power_model.breakdown(transformed, beta)
-        reference = self.power_model.reference(grayscale)
-
-        return HEBSResult(
-            original=grayscale,
-            transformed=transformed,
+        return HEBSSolution(
             target_range=int(target_range),
             backlight_factor=beta,
             ghe=ghe,
             coarse_curve=coarse,
             transform=transform,
             driver_program=program,
+            max_distortion=max_distortion,
+        )
+
+    def apply_solution(self, solution: HEBSSolution, image: Image) -> HEBSResult:
+        """Replay a solved transformation onto an image (step 4).
+
+        Applies ``Lambda``, measures the achieved distortion and accounts the
+        power — the only per-pixel work of the pipeline.  The solution may
+        come fresh from :meth:`solve_range` or from a cache keyed on the
+        image histogram (see :mod:`repro.api.cache`).
+        """
+        grayscale = image.to_grayscale()
+        if grayscale.levels != solution.levels:
+            raise ValueError(
+                f"image has {grayscale.levels} levels but the solution was "
+                f"derived for {solution.levels}"
+            )
+        transformed = solution.transform.apply(grayscale)
+        distortion = float(self._measure(grayscale, transformed))
+        power = self.power_model.breakdown(transformed,
+                                           solution.backlight_factor)
+        reference = self.power_model.reference(grayscale)
+        return HEBSResult(
+            original=grayscale,
+            transformed=transformed,
+            target_range=solution.target_range,
+            backlight_factor=solution.backlight_factor,
+            ghe=solution.ghe,
+            coarse_curve=solution.coarse_curve,
+            transform=solution.transform,
+            driver_program=solution.driver_program,
             distortion=distortion,
             power=power,
             reference_power=reference,
-            max_distortion=max_distortion,
+            max_distortion=solution.max_distortion,
         )
+
+    def process_with_range(self, image: Image, target_range: int,
+                           max_distortion: float | None = None) -> HEBSResult:
+        """Run steps 2-4 for an explicitly chosen dynamic range.
+
+        Used directly by the Fig. 8 experiment (which fixes R to 220 and
+        100) and internally by :meth:`process`.
+        """
+        grayscale = image.to_grayscale()
+        solution = self.solve_range(grayscale, target_range,
+                                    max_distortion=max_distortion)
+        return self.apply_solution(solution, grayscale)
 
     def process(self, image: Image, max_distortion: float) -> HEBSResult:
         """Run the full HEBS flow for a distortion budget (steps 1-4).

@@ -1,0 +1,124 @@
+"""Tests for the histogram-keyed LRU solution cache."""
+
+import numpy as np
+import pytest
+
+from repro.api.cache import SolutionCache, histogram_signature
+from repro.api.engine import Engine
+from repro.api.registry import HEBSAlgorithm
+from repro.core.histogram import Histogram
+from repro.imaging.image import Image
+
+
+class TestHistogramSignature:
+    def test_same_image_same_signature(self, lena):
+        histogram = Histogram.of_image(lena)
+        assert histogram_signature(histogram) == histogram_signature(histogram)
+
+    def test_different_content_different_signature(self, lena, baboon):
+        assert (histogram_signature(Histogram.of_image(lena))
+                != histogram_signature(Histogram.of_image(baboon)))
+
+    def test_resolution_invariance(self):
+        """The same distribution at different pixel counts shares a key."""
+        probabilities = np.zeros(256)
+        probabilities[10:50] = 1.0
+        small = Histogram.from_probabilities(probabilities, n_pixels=4096)
+        large = Histogram.from_probabilities(probabilities, n_pixels=65536)
+        assert histogram_signature(small) == histogram_signature(large)
+
+    def test_coarse_bins_group_near_identical_histograms(self):
+        """A shift *within* one coarse bucket keeps the signature stable."""
+        a = Histogram.of_image(Image.constant(10, shape=(32, 32)))
+        b = Histogram.of_image(Image.constant(11, shape=(32, 32)))
+        assert histogram_signature(a, bins=256) != histogram_signature(b, bins=256)
+        assert histogram_signature(a, bins=8) == histogram_signature(b, bins=8)
+
+    def test_invalid_bins_rejected(self, lena):
+        with pytest.raises(ValueError, match="bins"):
+            histogram_signature(Histogram.of_image(lena), bins=0)
+
+
+class TestSolutionCache:
+    def test_hit_miss_counters(self):
+        cache = SolutionCache(max_size=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = SolutionCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_clear_resets_everything(self):
+        cache = SolutionCache(max_size=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size, stats.evictions) \
+            == (0, 0, 0, 0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError, match="max_size"):
+            SolutionCache(max_size=0)
+
+
+class TestEngineCacheSemantics:
+    def test_cache_hit_result_bitwise_identical_to_cold(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        cold = engine.process(lena, 10.0)
+        warm = engine.process(lena, 10.0)
+        assert not cold.from_cache
+        assert warm.from_cache
+        assert np.array_equal(cold.output.pixels, warm.output.pixels)
+        assert warm.backlight_factor == cold.backlight_factor
+        assert warm.distortion == cold.distortion
+        assert warm.power == cold.power
+        assert warm == cold          # from_cache/details excluded from equality
+
+    def test_different_budgets_do_not_collide(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        tight = engine.process(lena, 5.0)
+        loose = engine.process(lena, 30.0)
+        assert not loose.from_cache
+        assert loose.backlight_factor < tight.backlight_factor
+
+    def test_different_algorithms_do_not_collide(self, lena):
+        engine = Engine()
+        hebs = engine.process(lena, 10.0, algorithm="hebs")
+        cbcs = engine.process(lena, 10.0, algorithm="cbcs")
+        assert not cbcs.from_cache
+        assert hebs.algorithm != cbcs.algorithm
+
+    def test_cache_disabled_never_hits(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline), cache_size=0)
+        engine.process(lena, 10.0)
+        again = engine.process(lena, 10.0)
+        assert not again.from_cache
+        assert engine.cache_stats.lookups == 0
+
+    def test_cache_disabled_batch_never_marks_cached(self, pipeline, lena):
+        """With the cache off, batch grouping is off too: every image is an
+        independent solve and from_cache stays False throughout."""
+        engine = Engine(HEBSAlgorithm(pipeline), cache_size=0)
+        results = engine.process_batch([lena, lena, lena], 10.0)
+        assert not any(result.from_cache for result in results)
+        assert engine.cache_stats.lookups == 0
+
+    def test_clear_cache_forces_resolve(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        engine.process(lena, 10.0)
+        engine.clear_cache()
+        result = engine.process(lena, 10.0)
+        assert not result.from_cache

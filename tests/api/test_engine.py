@@ -1,0 +1,94 @@
+"""Tests for the Engine facade: process, process_batch and the invariants."""
+
+import numpy as np
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.registry import HEBSAlgorithm, available_algorithms
+
+SWEEP_BUDGETS = (2.0, 5.0, 10.0, 20.0, 30.0)
+
+
+class TestProcess:
+    def test_default_algorithm_is_hebs(self, lena):
+        result = Engine().process(lena, 10.0)
+        assert result.algorithm == "hebs"
+
+    def test_per_call_algorithm_override(self, lena):
+        engine = Engine()
+        assert engine.process(lena, 10.0, algorithm="cbcs").algorithm == "cbcs"
+
+    def test_engine_accepts_algorithm_instance(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline, adaptive=True))
+        assert engine.process(lena, 10.0).algorithm == "hebs-adaptive"
+
+    def test_negative_budget_rejected(self, lena):
+        with pytest.raises(ValueError, match="non-negative"):
+            Engine().process(lena, -1.0)
+
+    def test_rgb_input_collapsed_to_grayscale(self, rgb_image):
+        result = Engine().process(rgb_image, 10.0)
+        assert result.output.is_grayscale
+
+    def test_processed_counter(self, pipeline, lena, pout):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        engine.process(lena, 10.0)
+        engine.process_batch([lena, pout], 10.0)
+        assert engine.processed == 3
+
+
+class TestProcessBatch:
+    def test_batch_equals_n_times_process(self, pipeline, small_suite):
+        """The batched path must be indistinguishable from the loop."""
+        images = list(small_suite.values())
+        loop_engine = Engine(HEBSAlgorithm(pipeline))
+        singles = [loop_engine.process(image, 10.0) for image in images]
+
+        batch_engine = Engine(HEBSAlgorithm(pipeline))
+        batched = batch_engine.process_batch(images, 10.0)
+
+        assert len(batched) == len(singles)
+        for single, member in zip(singles, batched):
+            assert np.array_equal(single.output.pixels, member.output.pixels)
+            assert member.backlight_factor == single.backlight_factor
+            assert member.distortion == single.distortion
+            assert member == single
+
+    def test_batch_preserves_input_order(self, pipeline, small_suite):
+        images = list(small_suite.values())
+        results = Engine(HEBSAlgorithm(pipeline)).process_batch(images, 10.0)
+        for image, result in zip(images, results):
+            assert result.original == image.to_grayscale()
+
+    def test_repeated_histograms_solved_once(self, pipeline, lena, pout):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        results = engine.process_batch([lena, pout, lena, pout, lena], 10.0)
+        # 2 distinct histograms -> 2 misses, everything else replayed (and
+        # counted as hits so the stats reflect the avoided solves)
+        assert engine.cache_stats.misses == 2
+        assert engine.cache_stats.hits == 3
+        assert sum(result.from_cache for result in results) == 3
+
+    def test_empty_batch(self, pipeline):
+        assert Engine(HEBSAlgorithm(pipeline)).process_batch([], 10.0) == []
+
+
+class TestInvariantSweep:
+    @pytest.mark.parametrize("name", sorted(available_algorithms()))
+    def test_invariants_hold_across_budgets(self, name, small_suite):
+        """0 < beta <= 1 and distortion >= 0 for every (algorithm, budget,
+        image) operating point reachable through the engine."""
+        engine = Engine(algorithm=name)
+        for budget in SWEEP_BUDGETS:
+            for image in small_suite.values():
+                result = engine.process(image, budget)
+                assert 0.0 < result.backlight_factor <= 1.0, (name, budget)
+                assert result.distortion >= 0.0, (name, budget)
+                assert result.power.total >= 0.0, (name, budget)
+                assert result.max_distortion == budget
+
+    def test_saving_monotone_in_budget_for_hebs(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        savings = [engine.process(lena, budget).power_saving_percent
+                   for budget in SWEEP_BUDGETS]
+        assert savings == sorted(savings)

@@ -1,0 +1,119 @@
+"""Tests for the algorithm registry and the unified compensation contract."""
+
+import numpy as np
+import pytest
+
+from repro.api.registry import (
+    BaselineAlgorithm,
+    CompensationAlgorithm,
+    HEBSAlgorithm,
+    algorithm_descriptions,
+    available_algorithms,
+    create,
+    register,
+)
+from repro.api.types import CompensationResult, CompensationSolution
+from repro.baselines.cbcs import CBCS
+from repro.core.pipeline import HEBSResult
+
+ALL_ALGORITHMS = ("hebs", "hebs-adaptive", "hebs-clipped", "hebs-bbhe",
+                  "dls-brightness", "dls-contrast", "cbcs")
+
+
+class TestRegistry:
+    def test_all_builtin_algorithms_registered(self):
+        assert set(ALL_ALGORITHMS) <= set(available_algorithms())
+
+    def test_descriptions_cover_every_name(self):
+        descriptions = algorithm_descriptions()
+        assert set(descriptions) == set(available_algorithms())
+        assert all(descriptions[name] for name in ALL_ALGORITHMS)
+
+    def test_create_is_case_insensitive(self):
+        assert create("CBCS").name == "cbcs"
+
+    def test_unknown_name_raises_with_inventory(self):
+        with pytest.raises(KeyError, match="cbcs"):
+            create("not-an-algorithm")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("hebs", lambda: None)
+
+    def test_overwrite_registration_roundtrip(self):
+        factory, description = (lambda **o: BaselineAlgorithm(CBCS(**o)),
+                                "temp")
+        register("test-temp", factory, description)
+        try:
+            assert create("test-temp").name == "cbcs"
+        finally:
+            # restore: overwriting with itself keeps the registry clean
+            register("test-temp", factory, description, overwrite=True)
+
+    def test_create_returns_fresh_instances(self):
+        assert create("hebs") is not create("hebs")
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_compensate_roundtrip(self, name, pout):
+        algorithm = create(name)
+        assert isinstance(algorithm, CompensationAlgorithm)
+        result = algorithm.compensate(pout, 10.0)
+        assert isinstance(result, CompensationResult)
+        assert result.algorithm == name
+        assert 0.0 < result.backlight_factor <= 1.0
+        assert result.distortion >= 0.0
+        assert result.output.shape == pout.shape
+        assert result.power.total <= result.reference_power.total * 1.001
+        assert result.max_distortion == 10.0
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_solve_apply_equals_compensate(self, name, pout):
+        algorithm = create(name)
+        solution = algorithm.solve(pout, 10.0)
+        assert isinstance(solution, CompensationSolution)
+        replayed = algorithm.apply_solution(solution, pout,
+                                            max_distortion=10.0)
+        direct = algorithm.compensate(pout, 10.0)
+        assert np.array_equal(replayed.output.pixels, direct.output.pixels)
+        assert replayed.backlight_factor == direct.backlight_factor
+        assert replayed.distortion == direct.distortion
+
+    def test_hebs_result_matches_legacy_process(self, pipeline, lena):
+        """The adapter is a repackaging, not a different algorithm."""
+        legacy = pipeline.process(lena, 10.0)
+        unified = HEBSAlgorithm(pipeline).compensate(lena, 10.0)
+        assert np.array_equal(unified.output.pixels,
+                              legacy.transformed.pixels)
+        assert unified.backlight_factor == legacy.backlight_factor
+        assert unified.distortion == legacy.distortion
+        assert isinstance(unified.details, HEBSResult)
+
+    def test_baseline_result_matches_legacy_optimize(self, lena):
+        method = CBCS()
+        legacy = method.optimize(lena, 10.0)
+        unified = BaselineAlgorithm(CBCS()).compensate(lena, 10.0)
+        assert np.array_equal(unified.output.pixels, legacy.displayed.pixels)
+        assert unified.backlight_factor == legacy.backlight_factor
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_at_backlight(self, name, pout):
+        result = create(name).at_backlight(pout, 0.6)
+        assert 0.0 < result.backlight_factor <= 1.0
+        assert result.distortion >= 0.0
+
+    def test_at_backlight_honours_g_min(self, characteristic_curve, pout):
+        """The beta -> range inversion must account for config.g_min."""
+        from repro.core.pipeline import HEBS, HEBSConfig
+
+        pipeline = HEBS(characteristic_curve, HEBSConfig(g_min=16))
+        result = HEBSAlgorithm(pipeline).at_backlight(pout, 0.5)
+        # round-tripping through the range grid stays within one level
+        assert abs(result.backlight_factor - 0.5) <= 1.5 / 255
+
+    def test_wrong_solution_type_rejected(self, pout):
+        hebs = create("hebs")
+        foreign = create("cbcs").solve(pout, 10.0)
+        with pytest.raises(TypeError, match="HEBS"):
+            hebs.apply_solution(foreign, pout)

@@ -1,0 +1,89 @@
+"""Tests for Engine.process_stream — the temporal (video) entry point."""
+
+import numpy as np
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.registry import HEBSAlgorithm
+from repro.core.temporal import BacklightSmoother, SceneChangeDetector
+from repro.imaging.image import Image
+
+
+@pytest.fixture(scope="module")
+def clip(request):
+    """A deterministic 12-frame fade between two flat luminance plateaus."""
+    frames = []
+    for index in range(12):
+        level = 40 if index < 6 else 200
+        noise = np.full((32, 32), level, dtype=np.int64)
+        noise[index % 32, :] = min(level + 5, 255)
+        frames.append(Image(noise, name=f"frame{index:02d}"))
+    return frames
+
+
+class TestProcessStream:
+    def test_yields_one_result_per_frame(self, pipeline, clip):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        results = list(engine.process_stream(clip, 10.0))
+        assert len(results) == len(clip)
+
+    def test_is_lazy(self, pipeline, clip):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        stream = engine.process_stream(clip, 10.0)
+        assert engine.processed == 0        # nothing ran yet
+        next(stream)
+        assert engine.processed == 1
+
+    def test_first_frame_is_a_scene_change(self, pipeline, clip):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        results = list(engine.process_stream(clip, 10.0))
+        assert results[0].scene_change
+
+    def test_cut_detected_mid_stream(self, pipeline, clip):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        results = list(engine.process_stream(clip, 10.0))
+        assert results[6].scene_change      # the 40 -> 200 plateau jump
+
+    def test_backlight_slew_limited(self, pipeline, clip):
+        max_step = 0.05
+        engine = Engine(HEBSAlgorithm(pipeline))
+        results = list(engine.process_stream(
+            clip, 10.0, smoother=BacklightSmoother(max_step=max_step)))
+        trace = np.array([frame.applied_backlight for frame in results])
+        # re-derivation quantizes beta to the grayscale-range grid, so the
+        # programmed step can exceed the smoother limit by one level
+        assert np.abs(np.diff(trace)).max() <= max_step + 1.0 / 255 + 1e-9
+
+    def test_smoothing_lags_the_request(self, pipeline, clip):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        results = list(engine.process_stream(
+            clip, 10.0, smoother=BacklightSmoother(max_step=0.05)))
+        # dark plateau requests aggressive dimming immediately; the applied
+        # factor must descend gradually from the initial full backlight
+        assert results[0].requested_backlight < results[0].applied_backlight
+
+    def test_repeated_frames_hit_the_cache(self, pipeline, clip):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        list(engine.process_stream(clip, 10.0))
+        assert engine.cache_stats.hits > 0
+
+    def test_rederive_disabled_keeps_raw_results(self, pipeline, clip):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        results = list(engine.process_stream(clip, 10.0, rederive=False))
+        for frame in results:
+            assert frame.result.backlight_factor == frame.requested_backlight
+
+    def test_custom_scene_detector_respected(self, pipeline, clip):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        detector = SceneChangeDetector(threshold=1.0)   # nothing is a cut
+        results = list(engine.process_stream(clip, 10.0,
+                                             scene_detector=detector))
+        assert not any(frame.scene_change for frame in results[1:])
+
+    def test_stream_works_for_baselines_without_at_backlight(self, clip):
+        engine = Engine()
+        results = list(engine.process_stream(clip[:4], 10.0,
+                                             algorithm="dls-contrast"))
+        assert len(results) == 4
+        for frame in results:
+            assert 0.0 < frame.applied_backlight <= 1.0

@@ -65,6 +65,60 @@ class TestProcessCommand:
         capsys.readouterr()
 
 
+class TestAlgorithmsCommand:
+    def test_lists_registered_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        for name in ("hebs", "hebs-adaptive", "hebs-clipped", "hebs-bbhe",
+                     "dls-brightness", "dls-contrast", "cbcs"):
+            assert name in output
+
+
+class TestProcessAlgorithmSelection:
+    def test_process_with_baseline_algorithm(self, capsys):
+        assert main(["process", "pout", "--algorithm", "cbcs"]) == 0
+        output = capsys.readouterr().out
+        assert "cbcs" in output
+        assert "backlight factor" in output
+        # the conventional driver has no reference-voltage program
+        assert "reference voltages" not in output
+
+    def test_adaptive_flag_maps_to_adaptive_algorithm(self, capsys):
+        assert main(["process", "pout", "--adaptive"]) == 0
+        output = capsys.readouterr().out
+        assert "hebs-adaptive" in output
+
+    def test_unknown_algorithm_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["process", "pout",
+                                       "--algorithm", "nope"])
+        capsys.readouterr()
+
+    def test_adaptive_conflicts_with_non_hebs_algorithm(self, capsys):
+        with pytest.raises(SystemExit, match="HEBS-specific"):
+            main(["process", "pout", "--algorithm", "cbcs", "--adaptive"])
+        capsys.readouterr()
+
+    def test_negative_budget_clean_error(self, capsys):
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(["process", "pout", "--budget", "-5"])
+        capsys.readouterr()
+
+
+class TestBatchCommand:
+    def test_batch_with_repeat_exercises_cache(self, capsys):
+        assert main(["batch", "lena", "peppers", "--repeat", "2"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("lena") == 2
+        assert "solution cache" in output
+        assert "yes" in output          # the repeats replay cached solutions
+
+    def test_batch_defaults_to_full_suite(self, capsys):
+        assert main(["batch", "--budget", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "19 images" in output
+
+
 class TestCharacterizeCommand:
     def test_characterize_directory(self, tmp_path, capsys):
         rng = np.random.default_rng(3)
