@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Serving under concurrent load: warm-up, micro-batching, live statistics.
+
+The deployment scenario the ROADMAP targets: one compensation service, many
+concurrent clients, content with heavily repeated histograms (the same
+photos viewed again and again, mostly-still video scenes).  The demo:
+
+1. starts a :class:`repro.serve.Server` (worker pool over one thread-safe
+   engine),
+2. warms the solution cache by pre-solving the benchmark corpus,
+3. times the serial baseline — every request an independent solve —
+   against the same workload submitted by N concurrent clients, and
+4. prints the load report and the server's statistics snapshot.
+
+Usage::
+
+    python examples/serving_demo.py [CLIENTS] [REPEATS] [MAX_DISTORTION]
+
+Defaults: 8 clients, 8 repeats of the 4-image workload (32 requests), 10%
+distortion budget.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.suite import default_engine
+from repro.bench.throughput import repeated_workload
+from repro.serve import Server, report_table, run_load, time_serial_baseline
+
+
+def main(argv: list[str]) -> None:
+    clients = int(argv[1]) if len(argv) > 1 else 8
+    repeats = int(argv[2]) if len(argv) > 2 else 8
+    budget = float(argv[3]) if len(argv) > 3 else 10.0
+
+    workload = repeated_workload(repeats=repeats)
+    print(f"workload          : {len(workload)} requests "
+          f"({len(workload) // repeats} distinct histograms x {repeats})")
+    print(f"clients           : {clients}")
+    print(f"distortion budget : {budget:g}%")
+    print()
+
+    # the serial baseline: the pre-serving calling convention — every
+    # request pays its own full derivation, nothing is shared
+    serial_seconds, _ = time_serial_baseline(
+        default_engine(cache_size=0), workload, budget)
+    print(f"serial baseline   : {serial_seconds:.3f}s "
+          f"({len(workload) / serial_seconds:.1f} req/s)")
+
+    # the served path: shared engine, warm cache, micro-batched workers
+    with Server(engine=default_engine(), workers=4) as server:
+        primed = server.warmup(budgets=(budget,))
+        print(f"warm-up           : {primed} solutions pre-solved")
+        report = run_load(server, workload, budget, clients=clients)
+        print()
+        print(report_table(report, serial_seconds=serial_seconds).render())
+        print()
+        print("server snapshot   :")
+        for key, value in server.stats().as_dict().items():
+            print(f"  {key:<18} {value}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

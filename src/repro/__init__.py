@@ -29,10 +29,14 @@ Sub-packages
 ``repro.bench``
     The experiment harness: one callable per paper table / figure.
 ``repro.api``
-    The unified serving surface: the :class:`~repro.api.engine.Engine`
-    facade, the algorithm registry and the histogram-keyed solution cache.
-    This is the canonical entry point; the per-technique classes remain the
-    implementation layer underneath.
+    The unified serving surface: the thread-safe
+    :class:`~repro.api.engine.Engine` facade, the algorithm registry and the
+    histogram-keyed solution cache.  This is the canonical entry point; the
+    per-technique classes remain the implementation layer underneath.
+``repro.serve``
+    The concurrent serving layer: the micro-batching request coalescer, the
+    worker-pool :class:`~repro.serve.server.Server` with warm-up and
+    backpressure, live statistics and the load generator.
 
 Quickstart
 ----------
@@ -49,7 +53,19 @@ from repro.api.engine import Engine
 from repro.api.types import CompensationResult
 from repro.core.pipeline import HEBS, HEBSConfig, HEBSResult
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy exports: the serving layer loads on first use, so plain
+    # `import repro` (and the CLI's serve-free paths) stay lean
+    if name == "serve":
+        import repro.serve as serve
+        return serve
+    if name == "Server":
+        from repro.serve.server import Server
+        return Server
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "analysis",
@@ -60,7 +76,9 @@ __all__ = [
     "display",
     "imaging",
     "quality",
+    "serve",
     "Engine",
+    "Server",
     "CompensationResult",
     "HEBS",
     "HEBSConfig",

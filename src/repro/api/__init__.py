@@ -23,8 +23,10 @@ Modules
     The histogram-keyed LRU solution cache exploiting the paper's Fig. 4
     observation that the transform depends only on histogram and budget.
 :mod:`repro.api.engine`
-    The :class:`Engine` facade: ``process`` / ``process_batch`` /
-    ``process_stream`` with cache statistics.
+    The thread-safe :class:`Engine` facade: ``process`` / ``process_batch``
+    / ``process_stream`` with cache statistics.  :mod:`repro.serve` builds
+    the concurrent serving front end (micro-batching, worker pool,
+    backpressure) on top of it.
 """
 
 from repro.api.cache import CacheStats, SolutionCache, histogram_signature

@@ -9,12 +9,16 @@ and driver program — everything in a
 the property: the DLS policy search and the CBCS band placement are
 histogram statistics too.
 
-:func:`histogram_signature` quantizes a histogram into a compact byte key —
-coarse on the level axis (``bins`` buckets) and on the count axis (fixed-
-point probabilities) so near-identical frames (consecutive video frames, the
-same photo at a different resolution) collapse onto one entry.
-:class:`SolutionCache` is a plain LRU dictionary over such keys with hit /
-miss counters, surfaced by the engine as :class:`CacheStats`.
+:func:`histogram_signature` turns a histogram into a compact byte key.  By
+default (``bins=256``, matching the engine's ``signature_bins``) the key is
+the exact 8-bit histogram at fixed-point probability resolution, so only
+genuinely identical distributions share an entry (the same photo at a
+different resolution still collapses — probabilities are size-invariant).
+Passing a smaller ``bins`` coarsens the level axis so near-identical frames
+(e.g. consecutive video frames) collapse too, trading exactness for more
+cross-content reuse.  :class:`SolutionCache` is a thread-safe LRU dictionary
+over such keys with hit / miss / replay counters, surfaced by the engine as
+:class:`CacheStats`.
 
 A cache *hit* replays the stored solution onto the new image; distortion and
 power are always re-measured on the actual pixels, so for a genuinely
@@ -25,6 +29,7 @@ flow already makes.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -40,7 +45,7 @@ __all__ = ["histogram_signature", "CacheStats", "SolutionCache"]
 _PROBABILITY_STEPS = 4096
 
 
-def histogram_signature(histogram: Histogram, bins: int = 64) -> bytes:
+def histogram_signature(histogram: Histogram, bins: int = 256) -> bytes:
     """A compact, quantized byte signature of a histogram.
 
     Parameters
@@ -51,7 +56,8 @@ def histogram_signature(histogram: Histogram, bins: int = 64) -> bytes:
         Number of coarse buckets on the grayscale axis.  ``bins`` equal to
         (or above) the level count keeps full level resolution; smaller
         values make the signature — and therefore the cache — more tolerant
-        of small content changes.
+        of small content changes.  The default (``256``) keys on the exact
+        8-bit histogram, matching the engine's ``signature_bins`` default.
     """
     if bins < 1:
         raise ValueError("bins must be at least 1")
@@ -65,17 +71,27 @@ def histogram_signature(histogram: Histogram, bins: int = 64) -> bytes:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of a :class:`SolutionCache` at one point in time."""
+    """Hit/miss/replay counters of a :class:`SolutionCache` at one point in
+    time.
+
+    ``hits`` and ``misses`` count genuine cache probes; ``replays`` counts
+    solution reuses that never probed the cache (members of a
+    :meth:`~repro.api.engine.Engine.process_batch` group past the first, who
+    share the group's single probe/solve).  Keeping the two apart keeps
+    :attr:`hit_rate` an honest probe statistic while :attr:`reuse_rate`
+    reports the fraction of images that skipped a solve.
+    """
 
     hits: int
     misses: int
     size: int
     max_size: int
     evictions: int
+    replays: int = 0
 
     @property
     def lookups(self) -> int:
-        """Total number of cache probes."""
+        """Total number of cache probes (replays excluded)."""
         return self.hits + self.misses
 
     @property
@@ -83,65 +99,114 @@ class CacheStats:
         """Fraction of probes answered from the cache (0 when unused)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of served images that reused a solution (hit or replay)
+        instead of paying a fresh solve (0 when unused)."""
+        total = self.lookups + self.replays
+        return (self.hits + self.replays) / total if total else 0.0
+
 
 class SolutionCache:
     """A bounded least-recently-used mapping from cache keys to solutions.
 
     Keys are opaque hashables (the engine combines the algorithm name, the
     quantized histogram signature and the budget); values are
-    :class:`~repro.api.types.CompensationSolution` instances.  Not thread
-    safe — wrap access in a lock if the engine is shared across threads.
+    :class:`~repro.api.types.CompensationSolution` instances.  All public
+    methods are thread safe: a single internal lock guards the entry map and
+    the counters, so the cache can be shared by every worker of a
+    :class:`~repro.serve.Server` without external synchronization.
     """
 
     def __init__(self, max_size: int = 256) -> None:
         if max_size < 1:
             raise ValueError("max_size must be at least 1")
         self.max_size = int(max_size)
+        self._lock = threading.RLock()
         self._entries: OrderedDict[object, object] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._replays = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: object) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: object):
         """The cached solution for ``key``, or ``None`` (counts hit/miss)."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def peek(self, key: object, touch: bool = True):
+        """The cached solution for ``key`` without hit/miss accounting.
+
+        Used by the engine's double-checked solve path: after losing a solve
+        race the winner's entry is already present, and the re-check must not
+        count a second probe.  ``touch`` refreshes the entry's LRU recency
+        (the reuse is real even if the probe is not counted).
+        """
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None and touch:
+                self._entries.move_to_end(key)
+            return value
 
     def put(self, key: object, value: object) -> None:
         """Store ``value`` under ``key``, evicting the LRU entry if full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def note_hit(self, count: int = 1) -> None:
+        """Record ``count`` cache hits that bypassed :meth:`get` (e.g. a
+        double-checked :meth:`peek` that found the entry)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        with self._lock:
+            self._hits += count
+
+    def note_replays(self, count: int = 1) -> None:
+        """Record ``count`` solution replays that never probed the cache
+        (batch-group members sharing one probe/solve)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        with self._lock:
+            self._replays += count
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+            self._replays = 0
 
     @property
     def stats(self) -> CacheStats:
-        """A snapshot of the hit/miss/eviction counters."""
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            size=len(self._entries),
-            max_size=self.max_size,
-            evictions=self._evictions,
-        )
+        """A consistent snapshot of the hit/miss/eviction/replay counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                max_size=self.max_size,
+                evictions=self._evictions,
+                replays=self._replays,
+            )

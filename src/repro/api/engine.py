@@ -7,8 +7,9 @@ One object, three entry points:
   solution cache first (the paper's Fig. 4 real-time flow, memoized).
 * :meth:`Engine.process_batch` — compensate many images.  Images are
   grouped by their quantized histogram signature so each distinct histogram
-  is solved exactly once (even on a cold cache) and the per-image work
-  collapses to a LUT application plus power/distortion accounting.
+  is solved exactly once (even on a cold cache, even with caching disabled)
+  and the per-image work collapses to a LUT application plus
+  power/distortion accounting.
 * :meth:`Engine.process_stream` — compensate a frame sequence for video
   playback: hooks the temporal machinery of :mod:`repro.core.temporal`
   (backlight smoothing, slew limiting, scene-change detection) around the
@@ -16,11 +17,15 @@ One object, three entry points:
 
 The engine is the canonical way to use this package; the per-technique
 classes (:class:`~repro.core.pipeline.HEBS`, the baselines) remain available
-as the implementation layer underneath.
+as the implementation layer underneath.  :mod:`repro.serve` builds the
+concurrent serving front end (micro-batching, worker pool, backpressure) on
+top of this facade.
 """
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import replace
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -61,6 +66,18 @@ class Engine:
     actual pixels.  For an identical image the hit result is therefore
     bitwise-identical to a cold run; for merely histogram-similar images the
     reuse is the approximation the paper's real-time flow already makes.
+
+    Cache entries key on the algorithm *instance* (two configurations of a
+    technique never share solutions), so reuse an instance across requests:
+    constructing a fresh instance per request can never hit and only fills
+    the LRU with entries that die with the instance.
+
+    The engine is **thread safe**: the solution cache takes its own lock,
+    the registry/counter state is guarded by an engine lock, and solves are
+    serialized per algorithm instance (the underlying pipelines were written
+    single-threaded).  Concurrent threads that race on the same cold
+    histogram coalesce onto one solve via a double-checked re-probe, so a
+    thundering herd pays one derivation, not N.
     """
 
     def __init__(self, algorithm: str | CompensationAlgorithm = "hebs", *,
@@ -75,6 +92,9 @@ class Engine:
         self._algorithms: dict[str, CompensationAlgorithm] = {}
         self._cache = SolutionCache(cache_size) if cache_size else None
         self._processed = 0
+        self._lock = threading.RLock()
+        self._solve_locks: weakref.WeakKeyDictionary[
+            CompensationAlgorithm, threading.Lock] = weakref.WeakKeyDictionary()
         if isinstance(algorithm, CompensationAlgorithm):
             self.default_algorithm = algorithm.name
             self._algorithms[algorithm.name] = algorithm
@@ -89,15 +109,31 @@ class Engine:
         """The (memoized) algorithm instance for ``name``.
 
         Accepts a registry name, a ready instance (adopted under its own
-        name), or ``None`` for the engine default.
+        name), or ``None`` for the engine default.  Two configurations of
+        one technique never share solutions: cache keys lead with the
+        instance itself, so adopting a different instance under an
+        already-used name simply strands the previous instance's entries
+        (they age out of the LRU) instead of ever replaying them.
         """
         if isinstance(name, CompensationAlgorithm):
-            self._algorithms[name.name] = name
+            with self._lock:
+                self._algorithms[name.name] = name
             return name
         key = self.default_algorithm if name is None else name
-        if key not in self._algorithms:
-            self._algorithms[key] = create(key, **self._options)
-        return self._algorithms[key]
+        with self._lock:
+            instance = self._algorithms.get(key)
+            if instance is None:
+                instance = self._algorithms[key] = create(key, **self._options)
+        return instance
+
+    def _solve_lock(self, algorithm: CompensationAlgorithm) -> threading.Lock:
+        """The lock serializing solves on one algorithm instance (the
+        underlying pipelines were written single-threaded)."""
+        with self._lock:
+            lock = self._solve_locks.get(algorithm)
+            if lock is None:
+                lock = self._solve_locks[algorithm] = threading.Lock()
+        return lock
 
     # ------------------------------------------------------------------ #
     # cache plumbing
@@ -105,21 +141,20 @@ class Engine:
     def _cache_key(self, algorithm: CompensationAlgorithm,
                    histogram: Histogram, max_distortion: float) -> tuple:
         signature = histogram_signature(histogram, bins=self.signature_bins)
-        return (algorithm.name, signature, round(float(max_distortion), 6))
+        # the key leads with the instance itself (identity hash), not its
+        # registry name: two configurations of one technique must never
+        # share solutions, even when an adoption races an in-flight solve.
+        # the budget participates exactly: rounding it would alias distinct
+        # budgets that differ past the rounding point onto one solution
+        return (algorithm, signature, float(max_distortion))
 
     def _solve(self, algorithm: CompensationAlgorithm, grayscale: Image,
                max_distortion: float):
         """Look up or derive the solution; returns ``(solution, from_cache)``."""
-        if self._cache is None:
-            return algorithm.solve(grayscale, max_distortion), False
-        key = self._cache_key(algorithm, Histogram.of_image(grayscale),
-                              max_distortion)
-        solution = self._cache.get(key)
-        if solution is not None:
-            return solution, True
-        solution = algorithm.solve(grayscale, max_distortion)
-        self._cache.put(key, solution)
-        return solution, False
+        key = (None if self._cache is None else
+               self._cache_key(algorithm, Histogram.of_image(grayscale),
+                               max_distortion))
+        return self._solve_group(algorithm, key, grayscale, max_distortion)
 
     # ------------------------------------------------------------------ #
     # entry points
@@ -135,8 +170,26 @@ class Engine:
         solution, hit = self._solve(algo, grayscale, max_distortion)
         result = algo.apply_solution(solution, grayscale,
                                      max_distortion=max_distortion)
-        self._processed += 1
+        with self._lock:
+            self._processed += 1
         return replace(result, from_cache=hit) if hit else result
+
+    def prime(self, image: Image, max_distortion: float,
+              algorithm: str | CompensationAlgorithm | None = None) -> bool:
+        """Solve ``image``'s histogram into the cache without applying.
+
+        The warm-up path of :class:`~repro.serve.Server`: pays the solve
+        (when not already cached) but skips the per-image LUT application
+        and accounting.  Returns ``True`` when a fresh solution was derived
+        and cached, ``False`` on a prior hit or with caching disabled.
+        """
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        if self._cache is None:
+            return False
+        algo = self.algorithm(algorithm)
+        _, hit = self._solve(algo, image.to_grayscale(), max_distortion)
+        return not hit
 
     def process_batch(self, images: Iterable[Image], max_distortion: float,
                       algorithm: str | CompensationAlgorithm | None = None,
@@ -147,49 +200,73 @@ class Engine:
         group shares one solve (and one driver program), so a batch with
         repeated content costs one solve plus N cheap LUT applications.
         Results come back in input order and are identical to calling
-        :meth:`process` per image.  With caching disabled (``cache_size=0``)
-        no grouping happens either: every image is solved independently.
+        :meth:`process` per image.  Grouping is independent of caching:
+        with ``cache_size=0`` identical histograms still share one solve
+        within the batch — grouped *exactly* rather than by the quantized
+        signature, because the signature tolerance is the caching
+        approximation a cache-disabled engine opted out of — there is just
+        no reuse across calls.
         """
         if max_distortion < 0:
             raise ValueError("max_distortion must be non-negative")
         algo = self.algorithm(algorithm)
         grayscales = [image.to_grayscale() for image in images]
 
-        if self._cache is None:
-            results = [
-                algo.apply_solution(algo.solve(grayscale, max_distortion),
-                                    grayscale, max_distortion=max_distortion)
-                for grayscale in grayscales
-            ]
-            self._processed += len(grayscales)
-            return results
-
         # group by cache key so every distinct histogram is solved once
         groups: dict[tuple, list[int]] = {}
         for index, grayscale in enumerate(grayscales):
-            key = self._cache_key(algo, Histogram.of_image(grayscale),
-                                  max_distortion)
+            histogram = Histogram.of_image(grayscale)
+            if self._cache is None:
+                key = (algo, histogram.counts.tobytes(),
+                       float(max_distortion))
+            else:
+                key = self._cache_key(algo, histogram, max_distortion)
             groups.setdefault(key, []).append(index)
 
         results: list[CompensationResult | None] = [None] * len(grayscales)
         for key, indices in groups.items():
-            solution = self._cache.get(key)
-            hit = solution is not None
-            if not hit:
-                solution = algo.solve(grayscales[indices[0]], max_distortion)
-                self._cache.put(key, solution)
+            solution, hit = self._solve_group(algo, key,
+                                              grayscales[indices[0]],
+                                              max_distortion)
+            # every group member past the first replays the shared solve;
+            # tally them as replays (not as synthetic cache probes, which
+            # would double-count lookups and perturb the LRU recency)
+            if len(indices) > 1 and self._cache is not None:
+                self._cache.note_replays(len(indices) - 1)
             for position, index in enumerate(indices):
                 result = algo.apply_solution(solution, grayscales[index],
                                              max_distortion=max_distortion)
-                # every group member past the first replays the shared solve;
-                # count it as a cache hit so the stats match the avoided work
-                if position > 0:
-                    self._cache.get(key)
                 if hit or position > 0:
-                    result = replace(result, from_cache=True)
+                    result = replace(result, from_cache=hit,
+                                     replayed=position > 0)
                 results[index] = result
-        self._processed += len(grayscales)
+        with self._lock:
+            self._processed += len(grayscales)
         return list(results)
+
+    def _solve_group(self, algorithm: CompensationAlgorithm,
+                     key: tuple | None, grayscale: Image,
+                     max_distortion: float):
+        """Look up or derive the solution for one cache key; returns
+        ``(solution, from_cache)``.  ``key`` is ``None`` (and ignored) when
+        caching is disabled."""
+        if self._cache is None:
+            with self._solve_lock(algorithm):
+                return algorithm.solve(grayscale, max_distortion), False
+        solution = self._cache.get(key)
+        if solution is not None:
+            return solution, True
+        with self._solve_lock(algorithm):
+            # double check: a thread racing on the same histogram may have
+            # solved while we waited for the lock.  peek + note_hit keeps
+            # the probe accounting exact (one miss above, one hit here).
+            solution = self._cache.peek(key)
+            if solution is not None:
+                self._cache.note_hit()
+                return solution, True
+            solution = algorithm.solve(grayscale, max_distortion)
+            self._cache.put(key, solution)
+        return solution, False
 
     def process_stream(self, frames: Iterable[Image], max_distortion: float,
                        algorithm: str | CompensationAlgorithm | None = None, *,
@@ -211,6 +288,10 @@ class Engine:
 
         Yields one :class:`~repro.api.types.StreamFrameResult` per frame,
         lazily, so arbitrarily long streams run in constant memory.
+
+        The stream state (smoother, scene detector) is private to the call:
+        share the engine across threads freely, but don't share one
+        ``process_stream`` iterator.
         """
         if max_distortion < 0:
             raise ValueError("max_distortion must be non-negative")
@@ -221,6 +302,7 @@ class Engine:
         for frame in frames:
             grayscale = frame.to_grayscale()
             scene_change = scene_detector.observe(grayscale)
+            previous = smoother.current
             raw = self.process(grayscale, max_distortion, algorithm=algo)
             applied = smoother.update(raw.backlight_factor)
 
@@ -228,16 +310,25 @@ class Engine:
             applied_factor = applied
             if rederive and abs(applied - raw.backlight_factor) > 1e-9:
                 try:
-                    result = algo.at_backlight(grayscale, applied,
-                                               max_distortion=max_distortion)
+                    candidate = algo.at_backlight(
+                        grayscale, applied, max_distortion=max_distortion)
                 except NotImplementedError:
                     pass
                 else:
                     # re-derivation quantizes the factor (e.g. to the
-                    # grayscale-range grid); keep the smoother honest about
-                    # what was actually programmed
-                    applied_factor = result.backlight_factor
-                    smoother.reset(applied_factor)
+                    # grayscale-range grid), which can overshoot the
+                    # smoother's slew limit.  Accept it only when the
+                    # quantized factor still honors the flicker bound
+                    # relative to the previous frame's applied factor, so
+                    # the programmed backlight and the transform it was
+                    # derived for always agree; otherwise keep the raw
+                    # result at the smoothed factor (the same fallback as
+                    # algorithms without ``at_backlight``).
+                    quantized = candidate.backlight_factor
+                    if smoother.reset_within_limit(quantized,
+                                                   reference=previous):
+                        result = candidate
+                        applied_factor = quantized
             yield StreamFrameResult(
                 result=result,
                 requested_backlight=raw.backlight_factor,
@@ -250,16 +341,18 @@ class Engine:
     # ------------------------------------------------------------------ #
     @property
     def cache_stats(self) -> CacheStats:
-        """Hit/miss counters of the solution cache (zeros when disabled)."""
+        """Hit/miss/replay counters of the solution cache (zeros when
+        disabled)."""
         if self._cache is None:
             return CacheStats(hits=0, misses=0, size=0, max_size=0,
-                              evictions=0)
+                              evictions=0, replays=0)
         return self._cache.stats
 
     @property
     def processed(self) -> int:
         """Number of images compensated through this engine so far."""
-        return self._processed
+        with self._lock:
+            return self._processed
 
     def clear_cache(self) -> None:
         """Drop all cached solutions and reset the counters."""

@@ -108,6 +108,15 @@ class CompensationResult:
     from_cache:
         Whether the underlying solution was replayed from the engine's
         histogram-keyed cache rather than solved from scratch.
+    replayed:
+        Whether the underlying solution was shared from an earlier image of
+        the *same* :meth:`~repro.api.engine.Engine.process_batch` call (the
+        image belonged to a histogram group past its first member).  Unlike
+        ``from_cache`` this also happens with caching disabled — grouping is
+        independent of the cache.  When a cache exists the replays are
+        tallied in :attr:`repro.api.cache.CacheStats.replays` rather than
+        as cache probes; with ``cache_size=0`` there are no cache stats and
+        this flag is the only record.
     """
 
     algorithm: str
@@ -124,6 +133,7 @@ class CompensationResult:
     driver_program: DriverProgram | None = field(default=None, compare=False)
     details: Any = field(default=None, compare=False)
     from_cache: bool = field(default=False, compare=False)
+    replayed: bool = field(default=False, compare=False)
 
     @property
     def power_saving(self) -> float:
@@ -157,7 +167,12 @@ class StreamFrameResult:
     requested_backlight:
         The factor the per-frame policy asked for before temporal smoothing.
     applied_backlight:
-        The smoothed, slew-limited factor actually programmed.
+        The smoothed, slew-limited factor actually programmed.  A quantized
+        re-derivation is only accepted when its factor stays within the
+        smoother's ``max_step`` of the previous frame's applied factor (and
+        then ``result.backlight_factor == applied_backlight``); otherwise
+        the raw result rides at the smoothed factor, exactly like
+        algorithms without ``at_backlight``.
     scene_change:
         Whether the frame was flagged as a scene change by the detector.
     """

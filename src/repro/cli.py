@@ -26,6 +26,17 @@ subcommands cover the common workflows:
     ``comparison``, ``abl-m``, ``abl-dist``, ``throughput``) and print the
     reproduced rows.
 
+``serve``
+    Start the concurrent serving layer (:mod:`repro.serve`): warm up the
+    solution cache on the benchmark corpus, run a request workload through
+    the micro-batching worker pool, and print the live statistics snapshot.
+
+``loadtest``
+    Hammer a server with N concurrent clients on a duplicate-heavy
+    workload; print throughput / latency percentiles / cache efficiency,
+    optionally against the serial per-request baseline, and optionally emit
+    the report as JSON (the CI perf artifact).
+
 ``benchmarks``
     List the built-in synthetic benchmark images with their statistics.
 """
@@ -164,14 +175,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "backlight": result.backlight_factor,
             "distortion%": result.distortion,
             "saving%": result.power_saving_percent,
-            "cached": "yes" if result.from_cache else "no",
+            "cached": ("replay" if result.replayed
+                       else "yes" if result.from_cache else "no"),
         }
         for label, result in zip(labels, results)
     )
     _print(table.render())
     stats = engine.cache_stats
-    _print(f"solution cache: {stats.hits} hits / {stats.misses} misses "
-           f"(hit rate {100.0 * stats.hit_rate:.1f}%, size {stats.size})")
+    _print(f"solution cache: {stats.hits} hits / {stats.misses} misses / "
+           f"{stats.replays} replays (hit rate {100.0 * stats.hit_rate:.1f}%, "
+           f"reuse rate {100.0 * stats.reuse_rate:.1f}%, size {stats.size})")
     return 0
 
 
@@ -248,6 +261,85 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                 _print(f"{key}: {value}")
     else:   # pragma: no cover - defensive, all experiments return Table/dict
         _print(repr(outcome))
+    return 0
+
+
+def _serving_workload(count: int) -> list:
+    """``count`` images cycling through the benchmark suite (duplicate-heavy
+    once ``count`` exceeds the suite size — the serving sweet spot)."""
+    suite = list(benchmark_images().values())
+    return [suite[index % len(suite)] for index in range(count)]
+
+
+def _build_server(args: argparse.Namespace):
+    # deferred import: keep `repro --help` fast and serve-free paths lean
+    from repro.serve import Server
+
+    engine = default_engine(algorithm=args.algorithm)
+    return Server(engine=engine, workers=args.workers,
+                  max_batch=args.max_batch, max_delay=args.max_delay / 1e3,
+                  max_pending=args.max_pending)
+
+
+def _print_server_stats(stats) -> None:
+    table = Table(
+        title="Server statistics snapshot",
+        columns=("quantity", "value"),
+        precision=3,
+    ).with_rows(
+        {"quantity": key, "value": value}
+        for key, value in stats.as_dict().items()
+    )
+    _print(table.render())
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = _build_server(args)
+    with server:
+        if args.warmup:
+            primed = server.warmup(budgets=(args.budget,),
+                                   algorithm=args.algorithm)
+            _print(f"warm-up: {primed} solutions pre-solved into the cache")
+        workload = _serving_workload(args.requests)
+        results = server.process_many(workload, args.budget,
+                                      algorithm=args.algorithm)
+        reused = sum(result.from_cache or result.replayed
+                     for result in results)
+        _print(f"served {len(results)} requests "
+               f"({reused} reused a cached/shared solution)")
+        _print_server_stats(server.stats())
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    # deferred import: keep `repro --help` fast and serve-free paths lean
+    from repro.serve import report_table, run_load, time_serial_baseline
+
+    workload = _serving_workload(args.requests)
+    serial_seconds = None
+    if args.baseline:
+        baseline_engine = default_engine(algorithm=args.algorithm,
+                                         cache_size=0)
+        serial_seconds, _ = time_serial_baseline(
+            baseline_engine, workload, args.budget, algorithm=args.algorithm)
+
+    server = _build_server(args)
+    with server:
+        if args.warmup:
+            server.warmup(budgets=(args.budget,), algorithm=args.algorithm)
+        report = run_load(server, workload, args.budget,
+                          clients=args.clients, algorithm=args.algorithm)
+    _print(report_table(report, serial_seconds=serial_seconds).render())
+    if args.json:
+        import json
+
+        payload = dict(report.as_dict())
+        if serial_seconds is not None:
+            payload["serial_seconds"] = round(serial_seconds, 6)
+            payload["speedup_vs_serial"] = round(
+                serial_seconds / report.elapsed_seconds, 3)
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        _print(f"report written to {args.json}")
     return 0
 
 
@@ -331,6 +423,49 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS),
                             help="experiment identifier (see DESIGN.md §4)")
     experiment.set_defaults(func=_cmd_experiment)
+
+    serving_options = argparse.ArgumentParser(add_help=False)
+    serving_options.add_argument("--budget", type=float, default=10.0,
+                                 help="maximum tolerable distortion in percent")
+    serving_options.add_argument("--algorithm", default="hebs",
+                                 choices=available_algorithms(),
+                                 help="registered algorithm to serve "
+                                      "(default: hebs)")
+    serving_options.add_argument("--workers", type=int, default=4,
+                                 help="worker threads executing micro-batches")
+    serving_options.add_argument("--max-batch", type=int, default=32,
+                                 help="largest coalesced micro-batch")
+    serving_options.add_argument("--max-delay", type=float, default=2.0,
+                                 help="micro-batching window in milliseconds")
+    serving_options.add_argument("--max-pending", type=int, default=1024,
+                                 help="request queue bound (backpressure past "
+                                      "it)")
+    serving_options.add_argument("--requests", type=int, default=64,
+                                 help="number of requests to serve (cycling "
+                                      "the benchmark suite)")
+    serving_options.add_argument("--no-warmup", dest="warmup",
+                                 action="store_false",
+                                 help="skip pre-solving the corpus into the "
+                                      "cache")
+
+    serve = subparsers.add_parser(
+        "serve", parents=[serving_options],
+        help="run the concurrent serving layer over a request workload")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", parents=[serving_options],
+        help="hammer the server with concurrent clients and report "
+             "throughput/latency")
+    loadtest.add_argument("--clients", type=int, default=8,
+                          help="concurrent client threads")
+    loadtest.add_argument("--baseline", action="store_true",
+                          help="also time the serial per-request baseline "
+                               "and report the speedup")
+    loadtest.add_argument("--json",
+                          help="write the report to this JSON file (the CI "
+                               "perf artifact format)")
+    loadtest.set_defaults(func=_cmd_loadtest)
 
     benchmarks = subparsers.add_parser(
         "benchmarks", help="list the built-in benchmark images")

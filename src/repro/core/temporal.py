@@ -87,6 +87,18 @@ class BacklightSmoother:
         """Jump immediately to ``value`` (or the initial factor)."""
         self._current = float(self.initial if value is None else value)
 
+    def reset_within_limit(self, value: float,
+                           reference: float | None = None) -> bool:
+        """A guarded :meth:`reset`: jump to ``value`` only when it honors
+        the flicker bound — within ``max_step`` of ``reference`` (the
+        current factor when omitted).  Returns whether the jump was taken;
+        on rejection the state is unchanged."""
+        anchor = self._current if reference is None else float(reference)
+        if abs(value - anchor) > self.max_step + 1e-12:
+            return False
+        self._current = float(value)
+        return True
+
 
 @dataclass
 class RollingHistogram:

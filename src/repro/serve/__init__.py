@@ -1,0 +1,58 @@
+"""Concurrent serving layer over the unified :mod:`repro.api` engine.
+
+The paper's real-time flow (Fig. 4) solves once per histogram and replays
+cheap per-pixel LUTs — exactly the shape that parallelizes.  This package
+turns the (thread-safe) :class:`~repro.api.engine.Engine` into a service:
+
+:mod:`repro.serve.coalescer`
+    :class:`RequestCoalescer` — micro-batching: concurrent ``submit()``
+    calls gather into one ``process_batch`` per tick, with a bounded queue
+    and submit timeouts for backpressure
+    (:class:`ServerOverloadedError` / :class:`ServerClosedError`).
+:mod:`repro.serve.server`
+    :class:`Server` — the worker-pool front end with corpus warm-up and a
+    live statistics snapshot.
+:mod:`repro.serve.stats`
+    :class:`StatsRecorder` / :class:`ServerStats` — throughput, latency
+    percentiles (p50/p95/p99), batching shape and cache efficiency.
+:mod:`repro.serve.loadgen`
+    :func:`run_load` / :class:`LoadReport` — the multi-client load
+    generator behind ``repro loadtest`` and ``examples/serving_demo.py``.
+
+Quickstart::
+
+    from repro.serve import Server
+
+    with Server(workers=4) as server:
+        server.warmup()
+        result = server.process(image, max_distortion=10.0)
+        print(server.stats().as_dict())
+"""
+
+from repro.serve.coalescer import (
+    RequestCoalescer,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    report_table,
+    run_load,
+    time_serial_baseline,
+)
+from repro.serve.server import Server
+from repro.serve.stats import ServerStats, StatsRecorder, percentile
+
+__all__ = [
+    "Server",
+    "RequestCoalescer",
+    "ServerClosedError",
+    "ServerOverloadedError",
+    "ServerStats",
+    "StatsRecorder",
+    "LoadReport",
+    "run_load",
+    "report_table",
+    "time_serial_baseline",
+    "percentile",
+]

@@ -1,0 +1,289 @@
+"""Micro-batching request coalescer: N concurrent submits, one solve.
+
+The paper's real-time flow (Fig. 4) solves once per *histogram* and replays
+cheap per-pixel LUTs — so when N clients concurrently request compensation
+for similar content, the right unit of work is one
+:meth:`~repro.api.engine.Engine.process_batch` per tick, not N independent
+:meth:`~repro.api.engine.Engine.process` calls.  :class:`RequestCoalescer`
+implements that gather:
+
+* :meth:`RequestCoalescer.submit` enqueues a request and returns a
+  :class:`concurrent.futures.Future` immediately.
+* Worker threads claim micro-batches: the first pending request opens a
+  batching window of ``max_delay`` seconds (or until ``max_batch`` requests
+  accumulate), so bursts coalesce while a lone request is barely delayed.
+* Each claimed batch is grouped by ``(algorithm, budget)`` and executed as
+  one engine batch; the engine then groups by histogram signature, so
+  duplicate content in the burst pays a single solve.
+* The pending queue is bounded (``max_pending``): when it is full,
+  ``submit`` blocks up to its timeout and then raises
+  :class:`ServerOverloadedError` — backpressure instead of unbounded memory.
+
+The coalescer is intentionally engine-agnostic: anything with a
+``process_batch(images, max_distortion, algorithm=...)`` method works, which
+is what the unit tests exploit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.api.registry import CompensationAlgorithm
+from repro.imaging.image import Image
+from repro.serve.stats import StatsRecorder
+
+__all__ = [
+    "RequestCoalescer",
+    "ServerClosedError",
+    "ServerOverloadedError",
+]
+
+
+class ServerOverloadedError(RuntimeError):
+    """The bounded request queue stayed full past the submit timeout."""
+
+
+class ServerClosedError(RuntimeError):
+    """The coalescer/server was closed and accepts no new requests."""
+
+
+@dataclass
+class _PendingRequest:
+    """One queued request: payload plus its future and enqueue timestamp."""
+
+    image: Image
+    max_distortion: float
+    algorithm: str | CompensationAlgorithm | None
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0
+
+    def group_key(self):
+        """Requests sharing this key can ride in one engine batch.
+
+        Algorithm *instances* group by identity, not by name: two clients
+        may carry differently configured instances under one registry name,
+        and batching them together would run one client's images through
+        the other client's configuration.
+        """
+        algorithm = self.algorithm
+        if isinstance(algorithm, CompensationAlgorithm):
+            return (("instance", id(algorithm)), self.max_distortion)
+        return (algorithm, self.max_distortion)
+
+
+class RequestCoalescer:
+    """Gathers concurrent ``submit()`` calls into shared engine batches.
+
+    Parameters
+    ----------
+    engine:
+        The (thread-safe) :class:`~repro.api.engine.Engine` executing the
+        batches, or any object with a compatible ``process_batch``.
+    max_batch:
+        Largest number of requests claimed into one micro-batch.
+    max_delay:
+        Batching window in seconds: how long a claimed batch waits for
+        companions after its first request arrived.  This bounds the extra
+        latency coalescing can add to a lone request.
+    max_pending:
+        Bound of the pending queue; submissions past it block and then fail
+        with :class:`ServerOverloadedError` (backpressure).
+    workers:
+        Number of batch-executing worker threads.
+    recorder:
+        Optional :class:`~repro.serve.stats.StatsRecorder` receiving
+        submit/complete/batch/reject events.
+    """
+
+    def __init__(self, engine, *, max_batch: int = 32,
+                 max_delay: float = 0.002, max_pending: int = 1024,
+                 workers: int = 1,
+                 recorder: StatsRecorder | None = None) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_delay = float(max_delay)
+        self.max_pending = int(max_pending)
+        self._recorder = recorder
+        self._cond = threading.Condition()
+        self._pending: list[_PendingRequest] = []
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop, daemon=True,
+                             name=f"repro-serve-worker-{index}")
+            for index in range(int(workers))
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_count(self) -> int:
+        """Requests currently waiting to be claimed by a worker."""
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the coalescer stopped accepting requests."""
+        with self._cond:
+            return self._closed
+
+    def submit(self, image: Image, max_distortion: float,
+               algorithm: str | CompensationAlgorithm | None = None,
+               timeout: float | None = 1.0) -> Future:
+        """Enqueue one request; returns its future immediately.
+
+        Blocks up to ``timeout`` seconds when the pending queue is full,
+        then raises :class:`ServerOverloadedError`.  ``timeout=None`` waits
+        indefinitely; ``timeout=0`` fails immediately on a full queue.
+        """
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        request = _PendingRequest(image=image, max_distortion=max_distortion,
+                                  algorithm=algorithm)
+        deadline = (None if timeout is None
+                    else time.monotonic() + max(timeout, 0.0))
+        with self._cond:
+            while len(self._pending) >= self.max_pending and not self._closed:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    if self._recorder is not None:
+                        self._recorder.note_rejected()
+                    raise ServerOverloadedError(
+                        f"request queue full ({self.max_pending} pending) "
+                        f"for longer than the {timeout:g}s submit timeout")
+                self._cond.wait(remaining)
+            if self._closed:
+                # count refusals at shutdown like backpressure rejections,
+                # so the stats account for every request a client saw fail
+                if self._recorder is not None:
+                    self._recorder.note_rejected()
+                raise ServerClosedError("the serving loop has been closed")
+            request.enqueued_at = time.perf_counter()
+            self._pending.append(request)
+            # record before a worker can possibly complete the request, so
+            # a stats snapshot never sees completed > submitted
+            if self._recorder is not None:
+                self._recorder.note_submitted()
+            self._cond.notify_all()
+        return request.future
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _claim(self) -> list[_PendingRequest] | None:
+        """Claim the next micro-batch; ``None`` when closed and drained."""
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            # the batching window: wait for companions until the batch is
+            # full or max_delay elapsed since the oldest pending request.
+            # The head is re-read every pass: a sibling worker may claim it
+            # while we wait, and a fresher head deserves a fresh window.
+            while (self._pending and len(self._pending) < self.max_batch
+                   and not self._closed):
+                remaining = self.max_delay - (
+                    time.perf_counter() - self._pending[0].enqueued_at)
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            batch = self._pending[:self.max_batch]
+            del self._pending[:len(batch)]
+            self._cond.notify_all()     # wake backpressure waiters
+            return batch
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._claim()
+            if batch is None:
+                return
+            if batch:   # a sibling worker may have drained the window
+                self._execute(batch)
+
+    def _execute(self, batch: Sequence[_PendingRequest]) -> None:
+        """Run one claimed micro-batch: group, batch-process, resolve."""
+        groups: dict[tuple, list[_PendingRequest]] = {}
+        for request in batch:
+            groups.setdefault(request.group_key(), []).append(request)
+        for members in groups.values():
+            # transition each future to RUNNING; a client may have
+            # cancelled a pending request (e.g. after a wait timeout), and
+            # resolving a cancelled future would crash the worker
+            live = [member for member in members
+                    if member.future.set_running_or_notify_cancel()]
+            if self._recorder is not None and len(live) < len(members):
+                self._recorder.note_failed(len(members) - len(live))
+            if not live:
+                continue
+            head = live[0]
+            try:
+                results = self.engine.process_batch(
+                    [member.image for member in live],
+                    head.max_distortion, algorithm=head.algorithm)
+            except BaseException as exc:   # noqa: BLE001 - forwarded, not hidden
+                for member in live:
+                    member.future.set_exception(exc)
+                if self._recorder is not None:
+                    self._recorder.note_failed(len(live))
+                continue
+            if len(results) != len(live):
+                # a zip over mismatched lengths would silently strand the
+                # tail futures in RUNNING forever; fail every member fast
+                error = RuntimeError(
+                    f"engine returned {len(results)} results for a batch "
+                    f"of {len(live)} images")
+                for member in live:
+                    member.future.set_exception(error)
+                if self._recorder is not None:
+                    self._recorder.note_failed(len(live))
+                continue
+            if self._recorder is not None:
+                self._recorder.note_batch(len(live))
+            completed_at = time.perf_counter()
+            for member, result in zip(live, results):
+                # record completion before resolving the future: a client
+                # woken by ``result()`` must never observe a stats snapshot
+                # that has not yet counted its own request
+                if self._recorder is not None:
+                    self._recorder.note_completed(
+                        completed_at - member.enqueued_at)
+                member.future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; workers drain the queue, then exit.
+
+        ``wait=True`` (the default) joins the workers, so every future
+        submitted before the close is resolved when this returns.
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    def __enter__(self) -> "RequestCoalescer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=True)

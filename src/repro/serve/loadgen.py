@@ -1,0 +1,195 @@
+"""Multi-client load generator for :class:`~repro.serve.server.Server`.
+
+Simulates the workload the ROADMAP targets: many concurrent clients
+requesting backlight compensation for content with heavily repeated
+histograms (the same photos, consecutive frames of mostly-still scenes).
+:func:`run_load` spawns ``clients`` threads that start together behind a
+barrier and hammer one shared server; the returned :class:`LoadReport`
+carries wall time, throughput, latency percentiles and the server's own
+statistics snapshot.
+
+``repro loadtest`` prints the report (optionally timing the serial
+``process``-per-request baseline for a speedup figure) and can emit it as
+JSON for the CI perf trajectory; ``examples/serving_demo.py`` walks through
+the same flow narratively.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.reporting import Table
+from repro.api.types import CompensationResult
+from repro.imaging.image import Image
+from repro.serve.server import Server
+from repro.serve.stats import ServerStats, percentile
+
+__all__ = ["LoadReport", "run_load", "report_table", "time_serial_baseline"]
+
+
+def time_serial_baseline(engine, images: Sequence[Image],
+                         max_distortion: float, algorithm=None):
+    """Time the pre-serving calling convention on ``engine``: one
+    independent ``process`` call per request, nothing coalesced.
+
+    Pass a cache-disabled engine (``Engine(..., cache_size=0)``) for the
+    truly independent baseline the serving speedup is quoted against.
+    Returns ``(seconds, results)`` so callers can also verify the served
+    outputs bitwise against the serial ones.
+    """
+    start = time.perf_counter()
+    results = [engine.process(image, max_distortion, algorithm=algorithm)
+               for image in images]
+    return time.perf_counter() - start, results
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one :func:`run_load` session.
+
+    ``latencies`` are per-request submit-to-result times (seconds), in
+    completion order per client; ``results`` maps workload index to the
+    compensation result so callers can verify outputs.  ``errors`` counts
+    requests that raised instead of resolving.
+    """
+
+    clients: int
+    requests: int
+    errors: int
+    elapsed_seconds: float
+    latencies: Sequence[float]
+    results: Mapping[int, CompensationResult]
+    stats: ServerStats
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second of wall time."""
+        completed = self.requests - self.errors
+        return completed / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def latency_p50(self) -> float:
+        return percentile(self.latencies, 50)
+
+    @property
+    def latency_p95(self) -> float:
+        return percentile(self.latencies, 95)
+
+    @property
+    def latency_p99(self) -> float:
+        return percentile(self.latencies, 99)
+
+    def as_dict(self) -> Mapping[str, float | int]:
+        """A flat, JSON-ready view (latencies in ms)."""
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_rps": round(self.throughput, 3),
+            "latency_p50_ms": round(1e3 * self.latency_p50, 3),
+            "latency_p95_ms": round(1e3 * self.latency_p95, 3),
+            "latency_p99_ms": round(1e3 * self.latency_p99, 3),
+            **{f"server_{key}": value
+               for key, value in self.stats.as_dict().items()},
+        }
+
+
+def run_load(server: Server, images: Sequence[Image],
+             max_distortion: float = 10.0, *, clients: int = 8,
+             algorithm=None, result_timeout: float = 60.0) -> LoadReport:
+    """Hammer ``server`` with ``images`` from ``clients`` concurrent threads.
+
+    The workload is dealt round-robin (client ``i`` takes images ``i``,
+    ``i+clients``, ...), all clients start together behind a barrier, and
+    each submits its share as fast as results come back.  Per-request
+    latencies and results (indexed by workload position) are collected for
+    verification against a serial reference.
+    """
+    if clients < 1:
+        raise ValueError("clients must be at least 1")
+    if not images:
+        raise ValueError("the workload must contain at least one image")
+    barrier = threading.Barrier(clients + 1)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    results: dict[int, CompensationResult] = {}
+    errors = [0]
+
+    def client(offset: int) -> None:
+        barrier.wait()
+        for index in range(offset, len(images), clients):
+            started = time.perf_counter()
+            try:
+                future = server.submit(images[index], max_distortion,
+                                       algorithm=algorithm)
+                result = future.result(timeout=result_timeout)
+            except Exception:   # noqa: BLE001 - tallied, session continues
+                with lock:
+                    errors[0] += 1
+                continue
+            latency = time.perf_counter() - started
+            with lock:
+                latencies.append(latency)
+                results[index] = result
+
+    threads = [threading.Thread(target=client, args=(offset,), daemon=True,
+                                name=f"repro-loadgen-{offset}")
+               for offset in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    return LoadReport(
+        clients=clients,
+        requests=len(images),
+        errors=errors[0],
+        elapsed_seconds=elapsed,
+        latencies=tuple(latencies),
+        results=dict(results),
+        stats=server.stats(),
+    )
+
+
+def report_table(report: LoadReport,
+                 serial_seconds: float | None = None) -> Table:
+    """Render a :class:`LoadReport` as the CLI's quantity/value table.
+
+    ``serial_seconds`` (wall time of the equivalent serial
+    ``process``-per-request loop) adds the headline speedup row.
+    """
+    stats = report.stats
+    rows = [
+        {"quantity": "clients", "value": report.clients},
+        {"quantity": "requests", "value": report.requests},
+        {"quantity": "errors", "value": report.errors},
+        {"quantity": "wall time (s)", "value": report.elapsed_seconds},
+        {"quantity": "throughput (req/s)", "value": report.throughput},
+        {"quantity": "latency p50 (ms)", "value": 1e3 * report.latency_p50},
+        {"quantity": "latency p95 (ms)", "value": 1e3 * report.latency_p95},
+        {"quantity": "latency p99 (ms)", "value": 1e3 * report.latency_p99},
+        {"quantity": "engine batches", "value": stats.batches},
+        {"quantity": "mean batch size", "value": stats.mean_batch_size},
+        {"quantity": "cache hit rate %", "value": 100.0 * stats.cache.hit_rate},
+        {"quantity": "cache reuse rate %",
+         "value": 100.0 * stats.cache.reuse_rate},
+    ]
+    if serial_seconds is not None:
+        rows.append({"quantity": "serial baseline (s)",
+                     "value": serial_seconds})
+        rows.append({"quantity": "speedup vs serial",
+                     "value": (serial_seconds / report.elapsed_seconds
+                               if report.elapsed_seconds else float("inf"))})
+    return Table(
+        title=(f"Load test: {report.requests} requests from "
+               f"{report.clients} clients"),
+        columns=("quantity", "value"),
+        precision=3,
+    ).with_rows(rows)

@@ -1,0 +1,196 @@
+"""Worker-pool serving front end: warm-up, backpressure, live statistics.
+
+:class:`Server` is the deployable face of the reproduction — the ROADMAP's
+"heavy traffic" direction built on three pieces this package already has:
+
+* a **thread-safe** :class:`~repro.api.engine.Engine` (locked solution
+  cache, per-algorithm solve locks, race-coalesced cold solves),
+* the micro-batching :class:`~repro.serve.coalescer.RequestCoalescer`, so N
+  concurrent clients with similar content pay one solve per tick, and
+* a :class:`~repro.serve.stats.StatsRecorder` exposing throughput, latency
+  percentiles and cache efficiency as one consistent snapshot.
+
+Typical use::
+
+    from repro.serve import Server
+
+    with Server(workers=4) as server:
+        server.warmup()                       # pre-solve the corpus
+        future = server.submit(image, max_distortion=10.0)
+        result = future.result()
+        print(server.stats().as_dict())
+
+``repro serve`` and ``repro loadtest`` drive the same class from the
+command line; ``examples/serving_demo.py`` shows a full load-generation
+session.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import Iterable, Mapping, Sequence
+
+from repro.api.engine import Engine
+from repro.api.registry import CompensationAlgorithm
+from repro.api.types import CompensationResult
+from repro.imaging.image import Image
+from repro.serve.coalescer import RequestCoalescer
+from repro.serve.stats import ServerStats, StatsRecorder
+
+__all__ = ["Server"]
+
+#: Distortion budgets pre-solved by :meth:`Server.warmup` when none are
+#: given — the budgets the CLI and the experiments sweep.
+DEFAULT_WARMUP_BUDGETS: tuple[float, ...] = (2.0, 5.0, 10.0, 20.0, 30.0)
+
+#: Sentinel distinguishing "use the server's submit timeout" from an
+#: explicit ``timeout=None`` (wait indefinitely).
+_USE_DEFAULT = object()
+
+
+class Server:
+    """A concurrent compensation server over one shared engine.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.api.engine.Engine` to serve from; a fresh
+        default-configured engine when omitted.
+    algorithm:
+        Default algorithm of the fresh engine (ignored when ``engine`` is
+        given).
+    workers:
+        Worker threads executing micro-batches.
+    max_batch, max_delay:
+        Micro-batching shape: largest coalesced batch and the batching
+        window in seconds (see
+        :class:`~repro.serve.coalescer.RequestCoalescer`).
+    max_pending:
+        Bound of the request queue; beyond it submissions feel
+        backpressure.
+    submit_timeout:
+        Default seconds a :meth:`submit` waits for queue space before
+        raising :class:`~repro.serve.coalescer.ServerOverloadedError`.
+    stats_window:
+        Number of recent request latencies kept for the percentile
+        estimates.
+    """
+
+    def __init__(self, engine: Engine | None = None, *,
+                 algorithm: str | CompensationAlgorithm = "hebs",
+                 workers: int = 4, max_batch: int = 32,
+                 max_delay: float = 0.002, max_pending: int = 1024,
+                 submit_timeout: float = 1.0,
+                 stats_window: int = 4096) -> None:
+        self.engine = engine if engine is not None else Engine(algorithm)
+        self.submit_timeout = float(submit_timeout)
+        self._recorder = StatsRecorder(window=stats_window)
+        self._coalescer = RequestCoalescer(
+            self.engine, max_batch=max_batch, max_delay=max_delay,
+            max_pending=max_pending, workers=workers,
+            recorder=self._recorder)
+
+    # ------------------------------------------------------------------ #
+    # request paths
+    # ------------------------------------------------------------------ #
+    def submit(self, image: Image, max_distortion: float,
+               algorithm: str | CompensationAlgorithm | None = None,
+               timeout: float | None = _USE_DEFAULT) -> Future:
+        """Enqueue one request; returns a future resolving to a
+        :class:`~repro.api.types.CompensationResult`.
+
+        ``timeout`` overrides the server's default submit timeout (how long
+        to wait for queue space under backpressure); ``None`` waits
+        indefinitely, as in :meth:`RequestCoalescer.submit`.
+        """
+        if timeout is _USE_DEFAULT:
+            timeout = self.submit_timeout
+        return self._coalescer.submit(image, max_distortion,
+                                      algorithm=algorithm, timeout=timeout)
+
+    def process(self, image: Image, max_distortion: float,
+                algorithm: str | CompensationAlgorithm | None = None,
+                timeout: float | None = None,
+                submit_timeout: float | None = _USE_DEFAULT,
+                ) -> CompensationResult:
+        """Synchronous convenience: submit one request and wait for it.
+
+        ``timeout`` bounds the wait for the *result*; the queue-space wait
+        under backpressure is bounded separately by ``submit_timeout``
+        (the server default when omitted, ``None`` for indefinite).
+        """
+        return self.submit(image, max_distortion, algorithm=algorithm,
+                           timeout=submit_timeout).result(timeout=timeout)
+
+    def process_many(self, images: Iterable[Image], max_distortion: float,
+                     algorithm: str | CompensationAlgorithm | None = None,
+                     timeout: float | None = None,
+                     submit_timeout: float | None = _USE_DEFAULT,
+                     ) -> list[CompensationResult]:
+        """Submit many requests at once and gather the results in order.
+
+        Unlike :meth:`Engine.process_batch` this goes through the serving
+        queue, so the requests coalesce with any other traffic the workers
+        are seeing.  ``timeout`` bounds each *result* wait; the queue-space
+        wait per submission is bounded by ``submit_timeout`` (the server
+        default when omitted, ``None`` for indefinite).
+        """
+        futures = [self.submit(image, max_distortion, algorithm=algorithm,
+                               timeout=submit_timeout)
+                   for image in images]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # warm-up
+    # ------------------------------------------------------------------ #
+    def warmup(self, images: Mapping[str, Image] | Sequence[Image] | None = None,
+               budgets: Sequence[float] = DEFAULT_WARMUP_BUDGETS,
+               algorithm: str | CompensationAlgorithm | None = None) -> int:
+        """Pre-solve a histogram corpus into the engine's cache.
+
+        A cold cache makes the first wave of traffic pay full solves; warm-up
+        moves that cost to deployment time.  ``images`` defaults to the
+        built-in benchmark suite (the stand-in for a production content
+        corpus); every ``(image, budget)`` pair is solved without the
+        per-image apply.  Returns the number of fresh solutions cached.
+        """
+        if images is None:
+            # deferred import: repro.serve must stay importable without bench
+            from repro.bench.suite import benchmark_images
+            images = benchmark_images()
+        if isinstance(images, Mapping):
+            images = list(images.values())
+        primed = 0
+        for image in images:
+            for budget in budgets:
+                primed += bool(self.engine.prime(image, budget,
+                                                 algorithm=algorithm))
+        return primed
+
+    # ------------------------------------------------------------------ #
+    # introspection & lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the coalescer right now."""
+        return self._coalescer.pending_count
+
+    @property
+    def closed(self) -> bool:
+        """Whether the server stopped accepting requests."""
+        return self._coalescer.closed
+
+    def stats(self) -> ServerStats:
+        """A live snapshot: throughput, latency percentiles, cache rates."""
+        return self._recorder.snapshot(cache=self.engine.cache_stats,
+                                       queue_depth=self.queue_depth)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and (by default) drain the queue."""
+        self._coalescer.close(wait=wait)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=True)

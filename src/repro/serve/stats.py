@@ -1,0 +1,202 @@
+"""Thread-safe serving telemetry: throughput, latency percentiles, batching.
+
+Every component of :mod:`repro.serve` reports into one
+:class:`StatsRecorder`; :meth:`StatsRecorder.snapshot` folds the counters,
+the latency window and the engine's cache statistics into an immutable
+:class:`ServerStats` record — the "live stats" surface of
+:class:`~repro.serve.server.Server` and the payload of the CI perf artifact
+(``BENCH_serving.json``).
+
+Latency percentiles are computed over a bounded sliding window (the most
+recent ``window`` completions) so a long-lived server reports its *current*
+tail, not its lifetime average, and memory stays constant.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.api.cache import CacheStats
+
+__all__ = ["percentile", "ServerStats", "StatsRecorder"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by the nearest-rank method.
+
+    Returns 0.0 for an empty sequence; ``q`` is in percent (e.g. ``99``).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered)) - 1
+    return float(ordered[max(0, min(rank, len(ordered) - 1))])
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """One consistent snapshot of a serving component's counters.
+
+    Attributes
+    ----------
+    submitted, completed, failed:
+        Request counters: accepted into the queue / answered with a result /
+        answered with an exception.
+    rejected:
+        Requests refused by backpressure (bounded queue full past the
+        submit timeout) — these never count as submitted.
+    batches:
+        Number of engine batches executed by the coalescer.
+    mean_batch_size:
+        Average requests per engine batch (1.0 means no coalescing).
+    elapsed_seconds:
+        Wall time between the first submission and this snapshot (0 before
+        any request).
+    throughput:
+        Completed requests per second of elapsed time.
+    latency_mean, latency_p50, latency_p95, latency_p99:
+        Submit-to-completion latency statistics, in seconds, over the
+        recorder's sliding window.
+    queue_depth:
+        Requests pending in the coalescer at snapshot time.
+    cache:
+        The engine's :class:`~repro.api.cache.CacheStats` at snapshot time.
+    """
+
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    batches: int
+    mean_batch_size: float
+    elapsed_seconds: float
+    throughput: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    queue_depth: int
+    cache: CacheStats
+
+    @property
+    def in_flight(self) -> int:
+        """Requests accepted but not yet answered."""
+        return self.submitted - self.completed - self.failed
+
+    def as_dict(self) -> Mapping[str, float | int]:
+        """A flat, JSON-ready view of the snapshot (latencies in ms)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_rps": round(self.throughput, 3),
+            "latency_mean_ms": round(1e3 * self.latency_mean, 3),
+            "latency_p50_ms": round(1e3 * self.latency_p50, 3),
+            "latency_p95_ms": round(1e3 * self.latency_p95, 3),
+            "latency_p99_ms": round(1e3 * self.latency_p99, 3),
+            "queue_depth": self.queue_depth,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_replays": self.cache.replays,
+            "cache_hit_rate": round(self.cache.hit_rate, 4),
+            "cache_reuse_rate": round(self.cache.reuse_rate, 4),
+        }
+
+
+class StatsRecorder:
+    """Thread-safe accumulator behind :class:`ServerStats` snapshots.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent request latencies retained for the
+        percentile estimates.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, window: int = 4096, clock=time.perf_counter) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._latencies: deque[float] = deque(maxlen=int(window))
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._first_submit: float | None = None
+
+    def note_submitted(self, count: int = 1) -> None:
+        """Record ``count`` requests accepted into the queue."""
+        now = self._clock()
+        with self._lock:
+            self._submitted += count
+            if self._first_submit is None:
+                self._first_submit = now
+
+    def note_rejected(self, count: int = 1) -> None:
+        """Record ``count`` requests refused by backpressure."""
+        with self._lock:
+            self._rejected += count
+
+    def note_completed(self, latency_seconds: float) -> None:
+        """Record one successfully answered request and its latency."""
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(float(latency_seconds))
+
+    def note_failed(self, count: int = 1) -> None:
+        """Record ``count`` requests answered with an exception."""
+        with self._lock:
+            self._failed += count
+
+    def note_batch(self, size: int) -> None:
+        """Record one engine batch of ``size`` coalesced requests."""
+        with self._lock:
+            self._batches += 1
+            self._batched_requests += size
+
+    def snapshot(self, cache: CacheStats | None = None,
+                 queue_depth: int = 0) -> ServerStats:
+        """A consistent :class:`ServerStats` of everything recorded so far."""
+        now = self._clock()
+        with self._lock:
+            latencies = list(self._latencies)
+            elapsed = (now - self._first_submit
+                       if self._first_submit is not None else 0.0)
+            mean_batch = (self._batched_requests / self._batches
+                          if self._batches else 0.0)
+            mean_latency = (sum(latencies) / len(latencies)
+                            if latencies else 0.0)
+            return ServerStats(
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                batches=self._batches,
+                mean_batch_size=mean_batch,
+                elapsed_seconds=max(elapsed, 0.0),
+                throughput=(self._completed / elapsed if elapsed > 0 else 0.0),
+                latency_mean=mean_latency,
+                latency_p50=percentile(latencies, 50),
+                latency_p95=percentile(latencies, 95),
+                latency_p99=percentile(latencies, 99),
+                queue_depth=queue_depth,
+                cache=cache if cache is not None else CacheStats(
+                    hits=0, misses=0, size=0, max_size=0, evictions=0,
+                    replays=0),
+            )

@@ -73,6 +73,55 @@ class TestSolutionCache:
         with pytest.raises(ValueError, match="max_size"):
             SolutionCache(max_size=0)
 
+    def test_peek_does_not_count_probes(self):
+        cache = SolutionCache(max_size=4)
+        cache.put("a", 1)
+        assert cache.peek("a") == 1
+        assert cache.peek("missing") is None
+        stats = cache.stats
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_peek_refreshes_recency_unless_told_not_to(self):
+        cache = SolutionCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")                     # "a" becomes MRU
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+        cache.peek("a", touch=False)        # no recency change
+        cache.put("d", 4)
+        assert "a" not in cache             # "a" stayed LRU and was evicted
+
+    def test_note_hit_and_note_replays_feed_stats(self):
+        cache = SolutionCache(max_size=4)
+        cache.note_hit()
+        cache.note_replays(3)
+        stats = cache.stats
+        assert stats.hits == 1
+        assert stats.replays == 3
+        assert stats.lookups == 1           # replays are not probes
+        assert stats.reuse_rate == pytest.approx(1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            cache.note_replays(-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            cache.note_hit(-1)
+
+    def test_clear_resets_replays(self):
+        cache = SolutionCache(max_size=4)
+        cache.note_replays(5)
+        cache.clear()
+        assert cache.stats.replays == 0
+
+    def test_hit_rate_and_reuse_rate(self):
+        cache = SolutionCache(max_size=4)
+        cache.put("a", 1)
+        cache.get("a")                      # hit
+        cache.get("b")                      # miss
+        cache.note_replays(2)
+        stats = cache.stats
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.reuse_rate == pytest.approx(3 / 4)
+
 
 class TestEngineCacheSemantics:
     def test_cache_hit_result_bitwise_identical_to_cold(self, pipeline, lena):
@@ -122,3 +171,26 @@ class TestEngineCacheSemantics:
         engine.clear_cache()
         result = engine.process(lena, 10.0)
         assert not result.from_cache
+
+    def test_prime_solves_into_the_cache(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        assert engine.prime(lena, 10.0) is True      # fresh solve cached
+        assert engine.prime(lena, 10.0) is False     # already cached
+        assert engine.process(lena, 10.0).from_cache
+        assert engine.processed == 1                 # prime applies nothing
+
+    def test_prime_with_cache_disabled_is_a_no_op(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline), cache_size=0)
+        assert engine.prime(lena, 10.0) is False
+        assert engine.cache_stats.lookups == 0
+
+    def test_prime_rejects_negative_budget(self, pipeline, lena):
+        with pytest.raises(ValueError, match="non-negative"):
+            Engine(HEBSAlgorithm(pipeline)).prime(lena, -1.0)
+
+    def test_signature_default_matches_engine_default(self, lena):
+        """The histogram_signature default (256 bins: the exact 8-bit
+        histogram) agrees with the engine's documented signature_bins=256."""
+        histogram = Histogram.of_image(lena)
+        assert histogram_signature(histogram) \
+            == histogram_signature(histogram, bins=Engine().signature_bins)

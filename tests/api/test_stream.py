@@ -80,6 +80,33 @@ class TestProcessStream:
                                              scene_detector=detector))
         assert not any(frame.scene_change for frame in results[1:])
 
+    def test_rederivation_never_exceeds_slew_limit(self, pipeline, clip):
+        """Regression: after quantized re-derivation the smoother was reset
+        to the raw quantized factor, which can step farther than max_step
+        from the previously applied factor in a single frame."""
+        max_step = 0.002    # below the ~1/255 re-derivation grid step
+        engine = Engine(HEBSAlgorithm(pipeline))
+        results = list(engine.process_stream(
+            clip, 10.0, smoother=BacklightSmoother(max_step=max_step)))
+        trace = np.array([1.0] + [frame.applied_backlight
+                                  for frame in results])
+        assert np.abs(np.diff(trace)).max() <= max_step + 1e-9
+
+    def test_frame_state_is_internally_consistent(self, pipeline, clip):
+        """Every frame either carries the raw result at the smoothed factor
+        (re-derivation skipped/rejected) or a re-derived result whose own
+        backlight factor IS the programmed one — never a transform derived
+        for a factor other than the one reported as applied."""
+        engine = Engine(HEBSAlgorithm(pipeline))
+        for max_step in (0.002, 0.05):
+            results = list(engine.process_stream(
+                clip, 10.0, smoother=BacklightSmoother(max_step=max_step)))
+            for frame in results:
+                assert (frame.result.backlight_factor
+                        == frame.requested_backlight
+                        or frame.result.backlight_factor
+                        == frame.applied_backlight)
+
     def test_stream_works_for_baselines_without_at_backlight(self, clip):
         engine = Engine()
         results = list(engine.process_stream(clip[:4], 10.0,

@@ -63,6 +63,18 @@ class TestBacklightSmoother:
         with pytest.raises(ValueError, match="target"):
             BacklightSmoother().update(0.0)
 
+    def test_reset_within_limit(self):
+        smoother = BacklightSmoother(max_step=0.1, initial=0.8)
+        assert smoother.reset_within_limit(0.75)
+        assert smoother.current == 0.75
+        # beyond the flicker bound: rejected, state unchanged
+        assert not smoother.reset_within_limit(0.5)
+        assert smoother.current == 0.75
+        # an explicit reference anchors the bound instead of the current
+        assert not smoother.reset_within_limit(0.75, reference=0.5)
+        assert smoother.reset_within_limit(0.55, reference=0.5)
+        assert smoother.current == 0.55
+
 
 class TestRollingHistogram:
     def test_first_frame_initializes(self, lena):

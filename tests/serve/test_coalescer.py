@@ -1,0 +1,290 @@
+"""Tests for the micro-batching request coalescer (engine-stubbed: fast)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.coalescer import (
+    RequestCoalescer,
+    ServerClosedError,
+    ServerOverloadedError,
+)
+from repro.serve.stats import StatsRecorder
+
+
+class FakeEngine:
+    """Records every process_batch call; returns one token per image."""
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def process_batch(self, images, max_distortion, algorithm=None):
+        with self._lock:
+            self.calls.append((list(images), max_distortion, algorithm))
+        if self.delay:
+            time.sleep(self.delay)
+        return [("result", image, max_distortion, algorithm)
+                for image in images]
+
+
+class FailingEngine:
+    def process_batch(self, images, max_distortion, algorithm=None):
+        raise RuntimeError("solver exploded")
+
+
+class ShortEngine:
+    """Buggy engine dropping the last result of every batch."""
+
+    def process_batch(self, images, max_distortion, algorithm=None):
+        return [("result", image) for image in images][:-1]
+
+
+class TestSubmission:
+    def test_submit_resolves_future_with_result(self):
+        engine = FakeEngine()
+        with RequestCoalescer(engine, max_delay=0.0) as coalescer:
+            future = coalescer.submit("img", 10.0)
+            assert future.result(timeout=5.0) == ("result", "img", 10.0, None)
+
+    def test_results_map_to_their_own_requests(self):
+        engine = FakeEngine()
+        with RequestCoalescer(engine, max_delay=0.01) as coalescer:
+            futures = [coalescer.submit(f"img{i}", 10.0) for i in range(10)]
+            for index, future in enumerate(futures):
+                assert future.result(timeout=5.0)[1] == f"img{index}"
+
+    def test_negative_budget_rejected_at_submit(self):
+        with RequestCoalescer(FakeEngine()) as coalescer:
+            with pytest.raises(ValueError, match="non-negative"):
+                coalescer.submit("img", -1.0)
+
+    def test_invalid_configuration_rejected(self):
+        engine = FakeEngine()
+        with pytest.raises(ValueError, match="max_batch"):
+            RequestCoalescer(engine, max_batch=0)
+        with pytest.raises(ValueError, match="max_pending"):
+            RequestCoalescer(engine, max_pending=0)
+        with pytest.raises(ValueError, match="workers"):
+            RequestCoalescer(engine, workers=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            RequestCoalescer(engine, max_delay=-0.1)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_share_one_engine_batch(self):
+        """A burst inside the batching window becomes one process_batch."""
+        engine = FakeEngine(delay=0.05)
+        coalescer = RequestCoalescer(engine, max_batch=32, max_delay=0.25,
+                                     workers=1)
+        with coalescer:
+            futures = [coalescer.submit(f"img{i}", 10.0) for i in range(8)]
+            for future in futures:
+                future.result(timeout=5.0)
+        assert len(engine.calls) == 1
+        assert len(engine.calls[0][0]) == 8
+
+    def test_batch_splits_by_budget(self):
+        """Different budgets cannot share a batch (solutions differ)."""
+        engine = FakeEngine()
+        with RequestCoalescer(engine, max_delay=0.25) as coalescer:
+            one = coalescer.submit("a", 10.0)
+            two = coalescer.submit("b", 20.0)
+            assert one.result(timeout=5.0)[2] == 10.0
+            assert two.result(timeout=5.0)[2] == 20.0
+        budgets = sorted(budget for _, budget, _ in engine.calls)
+        assert budgets == [10.0, 20.0]
+
+    def test_batch_splits_by_algorithm(self):
+        engine = FakeEngine()
+        with RequestCoalescer(engine, max_delay=0.25) as coalescer:
+            one = coalescer.submit("a", 10.0, algorithm="hebs")
+            two = coalescer.submit("b", 10.0, algorithm="cbcs")
+            assert one.result(timeout=5.0)[3] == "hebs"
+            assert two.result(timeout=5.0)[3] == "cbcs"
+        assert len(engine.calls) == 2
+
+    def test_distinct_instances_with_one_name_never_share_a_batch(self):
+        """Two differently configured algorithm instances under the same
+        registry name must not ride in one batch: the whole group runs
+        through its head's instance."""
+        from repro.api.registry import CompensationAlgorithm
+
+        first, second = CompensationAlgorithm(), CompensationAlgorithm()
+        first.name = second.name = "hebs"
+        engine = FakeEngine()
+        with RequestCoalescer(engine, max_delay=0.25) as coalescer:
+            one = coalescer.submit("a", 10.0, algorithm=first)
+            two = coalescer.submit("b", 10.0, algorithm=second)
+            assert one.result(timeout=5.0)[3] is first
+            assert two.result(timeout=5.0)[3] is second
+        assert len(engine.calls) == 2
+
+    def test_max_batch_caps_the_claim(self):
+        engine = FakeEngine(delay=0.02)
+        with RequestCoalescer(engine, max_batch=4, max_delay=0.25,
+                              workers=1) as coalescer:
+            futures = [coalescer.submit(f"img{i}", 10.0) for i in range(10)]
+            for future in futures:
+                future.result(timeout=5.0)
+        assert max(len(images) for images, _, _ in engine.calls) <= 4
+
+    def test_lone_request_not_delayed_past_window(self):
+        engine = FakeEngine()
+        with RequestCoalescer(engine, max_delay=0.05) as coalescer:
+            started = time.perf_counter()
+            coalescer.submit("img", 10.0).result(timeout=5.0)
+            elapsed = time.perf_counter() - started
+        assert elapsed < 1.0        # window + execution, not unbounded
+
+
+class TestBackpressure:
+    def test_full_queue_times_out_with_overload_error(self):
+        engine = FakeEngine(delay=0.5)          # keep the worker busy
+        coalescer = RequestCoalescer(engine, max_batch=1, max_pending=1,
+                                     max_delay=0.0, workers=1)
+        try:
+            coalescer.submit("a", 10.0)         # claimed by the worker
+            time.sleep(0.05)                    # let the worker pick it up
+            coalescer.submit("b", 10.0)         # fills the queue bound
+            with pytest.raises(ServerOverloadedError, match="queue full"):
+                coalescer.submit("c", 10.0, timeout=0.0)
+        finally:
+            coalescer.close(wait=True)
+
+    def test_backpressure_waits_for_space_within_timeout(self):
+        engine = FakeEngine(delay=0.05)
+        coalescer = RequestCoalescer(engine, max_batch=1, max_pending=1,
+                                     max_delay=0.0, workers=1)
+        try:
+            coalescer.submit("a", 10.0)
+            time.sleep(0.02)
+            coalescer.submit("b", 10.0)
+            # space frees as the worker drains; a patient submit succeeds
+            future = coalescer.submit("c", 10.0, timeout=5.0)
+            assert future.result(timeout=5.0)[1] == "c"
+        finally:
+            coalescer.close(wait=True)
+
+    def test_rejections_are_recorded(self):
+        recorder = StatsRecorder()
+        engine = FakeEngine(delay=0.5)
+        coalescer = RequestCoalescer(engine, max_batch=1, max_pending=1,
+                                     max_delay=0.0, workers=1,
+                                     recorder=recorder)
+        try:
+            coalescer.submit("a", 10.0)
+            time.sleep(0.05)
+            coalescer.submit("b", 10.0)
+            with pytest.raises(ServerOverloadedError):
+                coalescer.submit("c", 10.0, timeout=0.0)
+        finally:
+            coalescer.close(wait=True)
+        snapshot = recorder.snapshot()
+        assert snapshot.rejected == 1
+        assert snapshot.submitted == 2
+
+
+class TestFailuresAndLifecycle:
+    def test_engine_failure_propagates_to_every_member_future(self):
+        with RequestCoalescer(FailingEngine(), max_delay=0.05) as coalescer:
+            futures = [coalescer.submit(f"img{i}", 10.0) for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="solver exploded"):
+                    future.result(timeout=5.0)
+
+    def test_short_result_batch_fails_fast_instead_of_hanging(self):
+        """Regression: ``zip`` over a too-short result list silently
+        stranded the tail futures in RUNNING forever."""
+        with RequestCoalescer(ShortEngine(), max_delay=0.05) as coalescer:
+            futures = [coalescer.submit(f"img{i}", 10.0) for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="2 results for"):
+                    future.result(timeout=5.0)
+
+    def test_close_drains_pending_requests(self):
+        engine = FakeEngine(delay=0.01)
+        coalescer = RequestCoalescer(engine, max_batch=2, max_delay=0.0,
+                                     workers=1)
+        futures = [coalescer.submit(f"img{i}", 10.0) for i in range(6)]
+        coalescer.close(wait=True)
+        for future in futures:
+            assert future.done()
+            assert future.result()[0] == "result"
+
+    def test_submit_after_close_raises(self):
+        coalescer = RequestCoalescer(FakeEngine())
+        coalescer.close(wait=True)
+        with pytest.raises(ServerClosedError):
+            coalescer.submit("img", 10.0)
+        assert coalescer.closed
+
+    def test_submit_refused_at_close_counts_as_rejected(self):
+        recorder = StatsRecorder()
+        coalescer = RequestCoalescer(FakeEngine(), recorder=recorder)
+        coalescer.close(wait=True)
+        with pytest.raises(ServerClosedError):
+            coalescer.submit("img", 10.0)
+        assert recorder.snapshot().rejected == 1
+
+    def test_cancelled_pending_future_does_not_kill_the_worker(self):
+        """Regression: resolving a client-cancelled future raised
+        InvalidStateError inside the worker, stranding its batch siblings
+        and permanently shrinking the pool."""
+        from concurrent.futures import CancelledError
+
+        recorder = StatsRecorder()
+        engine = FakeEngine(delay=0.1)          # hold the sole worker busy
+        with RequestCoalescer(engine, max_batch=8, max_delay=0.0, workers=1,
+                              recorder=recorder) as coalescer:
+            coalescer.submit("busy", 10.0)      # claimed by the worker
+            time.sleep(0.03)
+            doomed = coalescer.submit("doomed", 10.0)
+            sibling = coalescer.submit("sibling", 10.0)
+            assert doomed.cancel()              # still pending: cancellable
+            # the sibling in the same batch must still resolve...
+            assert sibling.result(timeout=5.0)[1] == "sibling"
+            with pytest.raises(CancelledError):
+                doomed.result(timeout=1.0)
+            # ...and the worker must survive to serve later traffic
+            assert coalescer.submit("after", 10.0).result(
+                timeout=5.0)[1] == "after"
+        snapshot = recorder.snapshot()
+        assert snapshot.failed == 1             # the cancelled request
+        assert snapshot.completed == 3
+
+    def test_multiple_workers_drain_in_parallel(self):
+        engine = FakeEngine(delay=0.05)
+        with RequestCoalescer(engine, max_batch=1, max_delay=0.0,
+                              workers=4) as coalescer:
+            started = time.perf_counter()
+            futures = [coalescer.submit(f"img{i}", 10.0) for i in range(8)]
+            for future in futures:
+                future.result(timeout=5.0)
+            elapsed = time.perf_counter() - started
+        # 8 sequential 50ms batches would take ~400ms; 4 workers halve it
+        assert elapsed < 0.35
+
+
+class SlowRecorder(StatsRecorder):
+    """Delays the completion bookkeeping, widening the window in which a
+    woken client could observe a snapshot missing its own request."""
+
+    def note_completed(self, latency_seconds: float) -> None:
+        time.sleep(0.05)
+        super().note_completed(latency_seconds)
+
+
+class TestStatsOrdering:
+    def test_client_woken_by_result_sees_itself_completed(self):
+        """Regression: futures were resolved *before* the recorder counted
+        the completion, so a client reading stats right after ``result()``
+        could observe ``completed < submitted``."""
+        recorder = SlowRecorder()
+        with RequestCoalescer(FakeEngine(), max_delay=0.0,
+                              recorder=recorder) as coalescer:
+            future = coalescer.submit("img", 10.0)
+            future.result(timeout=5.0)
+            assert recorder.snapshot().completed == 1

@@ -1,0 +1,82 @@
+"""Tests for the multi-client load generator and its report."""
+
+import numpy as np
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.registry import HEBSAlgorithm
+from repro.serve import Server, run_load
+from repro.serve.loadgen import report_table
+
+
+@pytest.fixture
+def workload(small_suite):
+    return list(small_suite.values()) * 3      # 12 requests, 4 distinct
+
+
+class TestRunLoad:
+    def test_all_requests_complete(self, pipeline, workload):
+        with Server(engine=Engine(HEBSAlgorithm(pipeline)),
+                    workers=2) as server:
+            report = run_load(server, workload, 10.0, clients=4)
+        assert report.requests == len(workload)
+        assert report.errors == 0
+        assert len(report.latencies) == len(workload)
+        assert report.throughput > 0.0
+        assert report.latency_p99 >= report.latency_p50 > 0.0
+
+    def test_results_indexed_by_workload_position(self, pipeline, workload):
+        reference = Engine(HEBSAlgorithm(pipeline))
+        expected = [reference.process(image, 10.0) for image in workload]
+        with Server(engine=Engine(HEBSAlgorithm(pipeline)),
+                    workers=2) as server:
+            report = run_load(server, workload, 10.0, clients=3)
+        assert sorted(report.results) == list(range(len(workload)))
+        for index, want in enumerate(expected):
+            got = report.results[index]
+            assert np.array_equal(want.output.pixels, got.output.pixels)
+
+    def test_single_client_degenerates_to_serial(self, pipeline, small_suite):
+        images = list(small_suite.values())
+        with Server(engine=Engine(HEBSAlgorithm(pipeline)),
+                    workers=1) as server:
+            report = run_load(server, images, 10.0, clients=1)
+        assert report.errors == 0
+        assert report.requests == len(images)
+
+    def test_invalid_arguments_rejected(self, pipeline, lena):
+        with Server(engine=Engine(HEBSAlgorithm(pipeline)),
+                    workers=1) as server:
+            with pytest.raises(ValueError, match="clients"):
+                run_load(server, [lena], 10.0, clients=0)
+            with pytest.raises(ValueError, match="at least one image"):
+                run_load(server, [], 10.0)
+
+    def test_report_serializes_to_json_ready_dict(self, pipeline, workload):
+        with Server(engine=Engine(HEBSAlgorithm(pipeline)),
+                    workers=2) as server:
+            report = run_load(server, workload, 10.0, clients=4)
+        payload = report.as_dict()
+        assert payload["requests"] == len(workload)
+        assert payload["errors"] == 0
+        assert "server_cache_reuse_rate" in payload
+
+
+class TestReportTable:
+    def test_table_renders_headline_rows(self, pipeline, workload):
+        with Server(engine=Engine(HEBSAlgorithm(pipeline)),
+                    workers=2) as server:
+            report = run_load(server, workload, 10.0, clients=2)
+        rendered = report_table(report).render()
+        assert "throughput (req/s)" in rendered
+        assert "latency p99 (ms)" in rendered
+        assert "speedup" not in rendered
+
+    def test_table_with_serial_baseline_adds_speedup(self, pipeline,
+                                                     workload):
+        with Server(engine=Engine(HEBSAlgorithm(pipeline)),
+                    workers=2) as server:
+            report = run_load(server, workload, 10.0, clients=2)
+        rendered = report_table(report, serial_seconds=12.0).render()
+        assert "serial baseline (s)" in rendered
+        assert "speedup vs serial" in rendered

@@ -1,0 +1,136 @@
+"""Tests for the serving statistics recorder and snapshot math."""
+
+import threading
+
+import pytest
+
+from repro.api.cache import CacheStats
+from repro.serve.stats import ServerStats, StatsRecorder, percentile
+
+
+class TestPercentile:
+    def test_empty_sequence_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_nearest_rank_on_known_sequence(self):
+        values = list(range(1, 101))            # 1..100
+        assert percentile(values, 50) == 50
+        assert percentile(values, 95) == 95
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_unsorted_input_is_sorted_internally(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError, match="q must be"):
+            percentile([1.0], 101)
+
+
+class TestStatsRecorder:
+    def test_counters_accumulate(self):
+        recorder = StatsRecorder()
+        recorder.note_submitted(3)
+        recorder.note_completed(0.010)
+        recorder.note_completed(0.020)
+        recorder.note_failed()
+        recorder.note_batch(2)
+        snapshot = recorder.snapshot()
+        assert snapshot.submitted == 3
+        assert snapshot.completed == 2
+        assert snapshot.failed == 1
+        assert snapshot.in_flight == 0
+        assert snapshot.batches == 1
+        assert snapshot.mean_batch_size == 2.0
+
+    def test_latency_percentiles_over_window(self):
+        recorder = StatsRecorder(window=1000)
+        recorder.note_submitted(100)
+        for ms in range(1, 101):
+            recorder.note_completed(ms / 1e3)
+        snapshot = recorder.snapshot()
+        assert snapshot.latency_p50 == pytest.approx(0.050)
+        assert snapshot.latency_p99 == pytest.approx(0.099)
+        assert snapshot.latency_mean == pytest.approx(0.0505)
+
+    def test_window_bounds_memory(self):
+        recorder = StatsRecorder(window=4)
+        for ms in (1, 2, 3, 4, 100, 100, 100, 100):
+            recorder.note_completed(ms / 1e3)
+        # only the 4 most recent latencies survive
+        assert recorder.snapshot().latency_p50 == pytest.approx(0.100)
+
+    def test_throughput_uses_elapsed_since_first_submit(self):
+        fake_now = [100.0]
+        recorder = StatsRecorder(clock=lambda: fake_now[0])
+        recorder.note_submitted(10)
+        for _ in range(10):
+            recorder.note_completed(0.001)
+        fake_now[0] = 102.0                     # 2 seconds later
+        snapshot = recorder.snapshot()
+        assert snapshot.elapsed_seconds == pytest.approx(2.0)
+        assert snapshot.throughput == pytest.approx(5.0)
+
+    def test_empty_recorder_snapshot_is_all_zeros(self):
+        snapshot = StatsRecorder().snapshot()
+        assert snapshot.submitted == 0
+        assert snapshot.throughput == 0.0
+        assert snapshot.latency_p99 == 0.0
+        assert snapshot.elapsed_seconds == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            StatsRecorder(window=0)
+
+    def test_snapshot_carries_cache_stats(self):
+        cache = CacheStats(hits=3, misses=1, size=4, max_size=8,
+                           evictions=0, replays=4)
+        snapshot = StatsRecorder().snapshot(cache=cache, queue_depth=7)
+        assert snapshot.cache.hit_rate == pytest.approx(0.75)
+        assert snapshot.cache.reuse_rate == pytest.approx(7 / 8)
+        assert snapshot.queue_depth == 7
+
+    def test_as_dict_is_json_ready(self):
+        recorder = StatsRecorder()
+        recorder.note_submitted()
+        recorder.note_completed(0.5)
+        payload = recorder.snapshot().as_dict()
+        assert payload["completed"] == 1
+        assert payload["latency_p50_ms"] == pytest.approx(500.0)
+        assert isinstance(payload["cache_hit_rate"], float)
+
+    def test_thread_safety_no_lost_counts(self):
+        recorder = StatsRecorder(window=100_000)
+        per_thread = 500
+
+        def worker():
+            for _ in range(per_thread):
+                recorder.note_submitted()
+                recorder.note_completed(0.001)
+                recorder.note_batch(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = recorder.snapshot()
+        assert snapshot.submitted == 8 * per_thread
+        assert snapshot.completed == 8 * per_thread
+        assert snapshot.batches == 8 * per_thread
+
+
+class TestServerStats:
+    def test_in_flight_accounting(self):
+        cache = CacheStats(hits=0, misses=0, size=0, max_size=0,
+                           evictions=0, replays=0)
+        stats = ServerStats(
+            submitted=10, completed=6, failed=1, rejected=2, batches=3,
+            mean_batch_size=2.0, elapsed_seconds=1.0, throughput=6.0,
+            latency_mean=0.01, latency_p50=0.01, latency_p95=0.02,
+            latency_p99=0.03, queue_depth=3, cache=cache)
+        assert stats.in_flight == 3

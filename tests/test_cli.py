@@ -111,12 +111,62 @@ class TestBatchCommand:
         output = capsys.readouterr().out
         assert output.count("lena") == 2
         assert "solution cache" in output
-        assert "yes" in output          # the repeats replay cached solutions
+        assert "replay" in output       # the repeats replay the shared solves
+        assert "reuse rate" in output
 
     def test_batch_defaults_to_full_suite(self, capsys):
         assert main(["batch", "--budget", "20"]) == 0
         output = capsys.readouterr().out
         assert "19 images" in output
+
+
+class TestServeCommand:
+    def test_serve_runs_workload_and_prints_stats(self, capsys):
+        assert main(["serve", "--requests", "8", "--workers", "2",
+                     "--no-warmup"]) == 0
+        output = capsys.readouterr().out
+        assert "served 8 requests" in output
+        assert "Server statistics snapshot" in output
+        assert "throughput_rps" in output
+        assert "latency_p99_ms" in output
+
+    def test_serve_warmup_reported(self, capsys):
+        assert main(["serve", "--requests", "4", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "warm-up" in output
+        assert "pre-solved" in output
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.workers == 4
+        assert args.requests == 64
+        assert args.warmup is True
+        assert args.max_batch == 32
+
+
+class TestLoadtestCommand:
+    def test_loadtest_prints_report(self, capsys):
+        assert main(["loadtest", "--requests", "8", "--clients", "2",
+                     "--workers", "2", "--no-warmup"]) == 0
+        output = capsys.readouterr().out
+        assert "Load test: 8 requests from 2 clients" in output
+        assert "throughput (req/s)" in output
+        assert "latency p99 (ms)" in output
+        assert "speedup" not in output      # no baseline requested
+
+    def test_loadtest_with_baseline_and_json(self, tmp_path, capsys):
+        import json
+
+        destination = tmp_path / "report.json"
+        assert main(["loadtest", "--requests", "6", "--clients", "2",
+                     "--workers", "2", "--baseline", "--no-warmup",
+                     "--json", str(destination)]) == 0
+        output = capsys.readouterr().out
+        assert "speedup vs serial" in output
+        payload = json.loads(destination.read_text())
+        assert payload["requests"] == 6
+        assert "speedup_vs_serial" in payload
+        assert "latency_p99_ms" in payload
 
 
 class TestCharacterizeCommand:
