@@ -24,13 +24,25 @@ Modules
     observation that the transform depends only on histogram and budget.
 :mod:`repro.api.engine`
     The thread-safe :class:`Engine` facade: ``process`` / ``process_batch``
-    / ``process_stream`` with cache statistics.  :mod:`repro.serve` builds
-    the concurrent serving front end (micro-batching, worker pool,
-    backpressure) on top of it.
+    / ``open_session`` / ``process_stream`` with cache statistics.
+    :mod:`repro.serve` builds the concurrent serving front end
+    (micro-batching, worker pool, backpressure, multi-stream sessions) on
+    top of it.
+:mod:`repro.api.session`
+    The push-based :class:`StreamSession`: long-lived per-stream temporal
+    state over the shared solution cache (``session.submit(frame)``), with
+    the steady-scene fast path and the split-phase surface the serving
+    layer batches across sessions.
 """
 
 from repro.api.cache import CacheStats, SolutionCache, histogram_signature
 from repro.api.engine import Engine
+from repro.api.session import (
+    SessionClosedError,
+    StreamFramePlan,
+    StreamSession,
+    StreamSessionStats,
+)
 from repro.api.registry import (
     BaselineAlgorithm,
     CompensationAlgorithm,
@@ -48,6 +60,10 @@ from repro.api.types import (
 
 __all__ = [
     "Engine",
+    "StreamSession",
+    "StreamSessionStats",
+    "StreamFramePlan",
+    "SessionClosedError",
     "CompensationAlgorithm",
     "HEBSAlgorithm",
     "BaselineAlgorithm",

@@ -10,10 +10,14 @@ One object, three entry points:
   is solved exactly once (even on a cold cache, even with caching disabled)
   and the per-image work collapses to a LUT application plus
   power/distortion accounting.
-* :meth:`Engine.process_stream` — compensate a frame sequence for video
-  playback: hooks the temporal machinery of :mod:`repro.core.temporal`
-  (backlight smoothing, slew limiting, scene-change detection) around the
-  cached per-frame policy so the backlight never flickers.
+* :meth:`Engine.open_session` — open a long-lived, push-based
+  :class:`~repro.api.session.StreamSession` for video: per-session temporal
+  state (backlight smoothing, slew limiting, scene-change detection, the
+  steady-scene fast path) around the shared solution cache, one frame at a
+  time.
+* :meth:`Engine.process_stream` — the pull-style convenience over a
+  session: compensate a complete frame iterable.  Kept supported and
+  bit-identical to its historical implementation.
 
 The engine is the canonical way to use this package; the per-technique
 classes (:class:`~repro.core.pipeline.HEBS`, the baselines) remain available
@@ -31,9 +35,14 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.api.cache import CacheStats, SolutionCache, histogram_signature
 from repro.api.registry import CompensationAlgorithm, create
+from repro.api.session import StreamSession
 from repro.api.types import CompensationResult, StreamFrameResult
 from repro.core.histogram import Histogram
-from repro.core.temporal import BacklightSmoother, SceneChangeDetector
+from repro.core.temporal import (
+    BacklightSmoother,
+    RollingHistogram,
+    SceneChangeDetector,
+)
 from repro.imaging.image import Image
 
 __all__ = ["Engine"]
@@ -170,8 +179,7 @@ class Engine:
         solution, hit = self._solve(algo, grayscale, max_distortion)
         result = algo.apply_solution(solution, grayscale,
                                      max_distortion=max_distortion)
-        with self._lock:
-            self._processed += 1
+        self._note_processed()
         return replace(result, from_cache=hit) if hit else result
 
     def prime(self, image: Image, max_distortion: float,
@@ -240,8 +248,7 @@ class Engine:
                     result = replace(result, from_cache=hit,
                                      replayed=position > 0)
                 results[index] = result
-        with self._lock:
-            self._processed += len(grayscales)
+        self._note_processed(len(grayscales))
         return list(results)
 
     def _solve_group(self, algorithm: CompensationAlgorithm,
@@ -268,73 +275,78 @@ class Engine:
             self._cache.put(key, solution)
         return solution, False
 
+    def open_session(self, max_distortion: float,
+                     algorithm: str | CompensationAlgorithm | None = None, *,
+                     smoother: BacklightSmoother | None = None,
+                     scene_detector: SceneChangeDetector | None = None,
+                     rederive: bool = True,
+                     snap_on_scene_change: bool = False,
+                     scene_gated_solve: bool = False,
+                     rolling: RollingHistogram | None = None,
+                     stability_bins: int = 32) -> StreamSession:
+        """Open a long-lived, push-based stream session on this engine.
+
+        The session owns its temporal state (smoother, scene detector,
+        rolling histogram) and shares the engine's thread-safe solution
+        cache, so N concurrent sessions showing similar content pay one
+        solve between them.  Push frames with
+        :meth:`~repro.api.session.StreamSession.submit`, end the stream
+        with :meth:`~repro.api.session.StreamSession.close` (sessions are
+        context managers).  See :class:`~repro.api.session.StreamSession`
+        for the parameters and the ``scene_gated_solve`` fast path;
+        :mod:`repro.serve` serves many such sessions concurrently through
+        shared micro-batches.  Raises ``ValueError`` (from the session
+        constructor) for a negative ``max_distortion``.
+        """
+        return StreamSession(
+            self, self.algorithm(algorithm), max_distortion,
+            smoother=smoother, scene_detector=scene_detector,
+            rederive=rederive, snap_on_scene_change=snap_on_scene_change,
+            scene_gated_solve=scene_gated_solve, rolling=rolling,
+            stability_bins=stability_bins)
+
     def process_stream(self, frames: Iterable[Image], max_distortion: float,
                        algorithm: str | CompensationAlgorithm | None = None, *,
                        smoother: BacklightSmoother | None = None,
                        scene_detector: SceneChangeDetector | None = None,
                        rederive: bool = True,
+                       snap_on_scene_change: bool = False,
                        ) -> Iterator[StreamFrameResult]:
         """Compensate a frame stream with temporal backlight filtering.
 
-        For each frame the per-frame policy (cache-accelerated, like
-        :meth:`process`) proposes a backlight factor; the
+        A thin pull-style wrapper over :meth:`open_session`: one session is
+        opened for the call, every frame of ``frames`` is pushed through
+        :meth:`~repro.api.session.StreamSession.submit`, and the session is
+        closed when the iterable (or the consumer) ends.  The per-frame
+        behaviour is unchanged from the historical inline implementation —
+        the per-frame policy (cache-accelerated, like :meth:`process`)
+        proposes a backlight factor, the
         :class:`~repro.core.temporal.BacklightSmoother` smooths and
-        slew-limits it so consecutive frames never flicker, and the
-        :class:`~repro.core.temporal.SceneChangeDetector` flags cuts.  When
-        smoothing moves the factor and ``rederive`` is set, the
+        slew-limits it so consecutive frames never flicker, the
+        :class:`~repro.core.temporal.SceneChangeDetector` flags cuts, and
+        when smoothing moves the factor and ``rederive`` is set the
         transformation is re-derived at the applied factor via the
         algorithm's ``at_backlight`` hook (falling back to the raw result
-        for algorithms without one).
+        for algorithms without one).  ``snap_on_scene_change`` lets a
+        detected cut reset the smoother straight to the new target (a cut
+        masks the luminance jump); off by default.
 
         Yields one :class:`~repro.api.types.StreamFrameResult` per frame,
         lazily, so arbitrarily long streams run in constant memory.
 
-        The stream state (smoother, scene detector) is private to the call:
-        share the engine across threads freely, but don't share one
-        ``process_stream`` iterator.
+        The stream state (the session) is private to the call: share the
+        engine across threads freely, but don't share one
+        ``process_stream`` iterator.  Clients that have *frames* rather
+        than an iterable (a decoder loop, a network stream) should open a
+        session directly.
         """
-        if max_distortion < 0:
-            raise ValueError("max_distortion must be non-negative")
-        algo = self.algorithm(algorithm)
-        smoother = smoother or BacklightSmoother()
-        scene_detector = scene_detector or SceneChangeDetector()
-
-        for frame in frames:
-            grayscale = frame.to_grayscale()
-            scene_change = scene_detector.observe(grayscale)
-            previous = smoother.current
-            raw = self.process(grayscale, max_distortion, algorithm=algo)
-            applied = smoother.update(raw.backlight_factor)
-
-            result = raw
-            applied_factor = applied
-            if rederive and abs(applied - raw.backlight_factor) > 1e-9:
-                try:
-                    candidate = algo.at_backlight(
-                        grayscale, applied, max_distortion=max_distortion)
-                except NotImplementedError:
-                    pass
-                else:
-                    # re-derivation quantizes the factor (e.g. to the
-                    # grayscale-range grid), which can overshoot the
-                    # smoother's slew limit.  Accept it only when the
-                    # quantized factor still honors the flicker bound
-                    # relative to the previous frame's applied factor, so
-                    # the programmed backlight and the transform it was
-                    # derived for always agree; otherwise keep the raw
-                    # result at the smoothed factor (the same fallback as
-                    # algorithms without ``at_backlight``).
-                    quantized = candidate.backlight_factor
-                    if smoother.reset_within_limit(quantized,
-                                                   reference=previous):
-                        result = candidate
-                        applied_factor = quantized
-            yield StreamFrameResult(
-                result=result,
-                requested_backlight=raw.backlight_factor,
-                applied_backlight=applied_factor,
-                scene_change=scene_change,
-            )
+        session = self.open_session(
+            max_distortion, algorithm=algorithm, smoother=smoother,
+            scene_detector=scene_detector, rederive=rederive,
+            snap_on_scene_change=snap_on_scene_change)
+        with session:
+            for frame in frames:
+                yield session.submit(frame)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -353,6 +365,12 @@ class Engine:
         """Number of images compensated through this engine so far."""
         with self._lock:
             return self._processed
+
+    def _note_processed(self, count: int = 1) -> None:
+        """Tally ``count`` compensated images (used by the entry points and
+        by :class:`~repro.api.session.StreamSession`)."""
+        with self._lock:
+            self._processed += count
 
     def clear_cache(self) -> None:
         """Drop all cached solutions and reset the counters."""

@@ -157,7 +157,9 @@ class CompensationResult:
 
 @dataclass(frozen=True)
 class StreamFrameResult:
-    """One frame's outcome from :meth:`repro.api.engine.Engine.process_stream`.
+    """One frame's outcome from a :class:`~repro.api.session.StreamSession`
+    (and therefore from :meth:`repro.api.engine.Engine.process_stream`,
+    which wraps one).
 
     Attributes
     ----------
@@ -172,12 +174,20 @@ class StreamFrameResult:
         smoother's ``max_step`` of the previous frame's applied factor (and
         then ``result.backlight_factor == applied_backlight``); otherwise
         the raw result rides at the smoothed factor, exactly like
-        algorithms without ``at_backlight``.
+        algorithms without ``at_backlight``.  When the session snaps on a
+        scene cut (``snap_on_scene_change``), the factor jumps with the cut
+        instead.
     scene_change:
         Whether the frame was flagged as a scene change by the detector.
+    reused:
+        Whether the frame rode the session's steady-scene fast path
+        (``scene_gated_solve``): the raw result replayed the session's held
+        solution instead of running the per-frame policy.  Always ``False``
+        outside the fast path.
     """
 
     result: CompensationResult
     requested_backlight: float
     applied_backlight: float
     scene_change: bool
+    reused: bool = field(default=False, compare=False)

@@ -35,7 +35,9 @@ subcommands cover the common workflows:
     Hammer a server with N concurrent clients on a duplicate-heavy
     workload; print throughput / latency percentiles / cache efficiency,
     optionally against the serial per-request baseline, and optionally emit
-    the report as JSON (the CI perf artifact).
+    the report as JSON (the CI perf artifact).  ``--streams N`` switches to
+    the video-client mode: N concurrent stream sessions each push a
+    ``--frames``-frame clip through the server's session layer.
 
 ``benchmarks``
     List the built-in synthetic benchmark images with their statistics.
@@ -278,7 +280,9 @@ def _build_server(args: argparse.Namespace):
     engine = default_engine(algorithm=args.algorithm)
     return Server(engine=engine, workers=args.workers,
                   max_batch=args.max_batch, max_delay=args.max_delay / 1e3,
-                  max_pending=args.max_pending)
+                  max_pending=args.max_pending,
+                  max_sessions=args.max_sessions,
+                  session_ttl=args.session_ttl)
 
 
 def _print_server_stats(stats) -> None:
@@ -311,25 +315,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_workload(streams: int, frames: int) -> list:
+    """``streams`` clips of ``frames`` frames each, cycling the benchmark
+    suite with a per-stream phase offset — consecutive frames repeat
+    content (the video sweet spot) while different streams still overlap
+    enough for cross-session coalescing."""
+    suite = list(benchmark_images().values())
+    return [[suite[(offset + index // 3) % len(suite)]
+             for index in range(frames)]
+            for offset in range(streams)]
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     # deferred import: keep `repro --help` fast and serve-free paths lean
-    from repro.serve import report_table, run_load, time_serial_baseline
+    from repro.serve import (
+        report_table,
+        run_load,
+        run_stream_load,
+        stream_report_table,
+        time_serial_baseline,
+        time_serial_stream_baseline,
+    )
 
-    workload = _serving_workload(args.requests)
+    stream_mode = args.streams > 0
     serial_seconds = None
+    if stream_mode:
+        workload = _stream_workload(args.streams, args.frames)
+    else:
+        workload = _serving_workload(args.requests)
     if args.baseline:
         baseline_engine = default_engine(algorithm=args.algorithm,
                                          cache_size=0)
-        serial_seconds, _ = time_serial_baseline(
-            baseline_engine, workload, args.budget, algorithm=args.algorithm)
-
+        time_baseline = (time_serial_stream_baseline if stream_mode
+                         else time_serial_baseline)
+        serial_seconds, _ = time_baseline(baseline_engine, workload,
+                                          args.budget,
+                                          algorithm=args.algorithm)
     server = _build_server(args)
     with server:
         if args.warmup:
             server.warmup(budgets=(args.budget,), algorithm=args.algorithm)
-        report = run_load(server, workload, args.budget,
-                          clients=args.clients, algorithm=args.algorithm)
-    _print(report_table(report, serial_seconds=serial_seconds).render())
+        if stream_mode:
+            report = run_stream_load(server, workload, args.budget,
+                                     algorithm=args.algorithm)
+            table = stream_report_table(report,
+                                        serial_seconds=serial_seconds)
+        else:
+            report = run_load(server, workload, args.budget,
+                              clients=args.clients, algorithm=args.algorithm)
+            table = report_table(report, serial_seconds=serial_seconds)
+    _print(table.render())
     if args.json:
         import json
 
@@ -447,6 +482,12 @@ def build_parser() -> argparse.ArgumentParser:
                                  action="store_false",
                                  help="skip pre-solving the corpus into the "
                                       "cache")
+    serving_options.add_argument("--max-sessions", type=int, default=64,
+                                 help="cap on concurrently open stream "
+                                      "sessions")
+    serving_options.add_argument("--session-ttl", type=float, default=300.0,
+                                 help="seconds of inactivity before an idle "
+                                      "stream session is evicted")
 
     serve = subparsers.add_parser(
         "serve", parents=[serving_options],
@@ -458,10 +499,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="hammer the server with concurrent clients and report "
              "throughput/latency")
     loadtest.add_argument("--clients", type=int, default=8,
-                          help="concurrent client threads")
+                          help="concurrent client threads (one-shot mode)")
+    loadtest.add_argument("--streams", type=int, default=0,
+                          help="video-client mode: this many concurrent "
+                               "stream sessions instead of one-shot clients")
+    loadtest.add_argument("--frames", type=int, default=24,
+                          help="frames per stream in --streams mode")
     loadtest.add_argument("--baseline", action="store_true",
-                          help="also time the serial per-request baseline "
-                               "and report the speedup")
+                          help="also time the serial baseline (per-request "
+                               "loop, or session-per-clip in --streams "
+                               "mode) and report the speedup")
     loadtest.add_argument("--json",
                           help="write the report to this JSON file (the CI "
                                "perf artifact format)")

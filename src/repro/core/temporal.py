@@ -57,7 +57,7 @@ class BacklightSmoother:
     smoothing: float = 0.5
     max_step: float = 0.05
     initial: float = 1.0
-    _current: float = field(init=False, default=1.0)
+    _current: float = field(init=False, repr=False, default=1.0)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.smoothing <= 1.0:
@@ -112,14 +112,13 @@ class RollingHistogram:
 
     levels: int = 256
     alpha: float = 0.3
-    _weights: np.ndarray = field(init=False, repr=False, default=None)
+    _weights: np.ndarray | None = field(init=False, repr=False, default=None)
 
     def __post_init__(self) -> None:
         if self.levels < 2:
             raise ValueError("levels must be at least 2")
         if not 0.0 < self.alpha <= 1.0:
             raise ValueError("alpha must be in (0, 1]")
-        self._weights = None
 
     @property
     def is_empty(self) -> bool:

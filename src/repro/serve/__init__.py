@@ -6,18 +6,27 @@ turns the (thread-safe) :class:`~repro.api.engine.Engine` into a service:
 
 :mod:`repro.serve.coalescer`
     :class:`RequestCoalescer` — micro-batching: concurrent ``submit()``
-    calls gather into one ``process_batch`` per tick, with a bounded queue
-    and submit timeouts for backpressure
+    calls (and stream-session frames, via ``submit_frame``) gather into one
+    ``process_batch`` per tick, with a bounded queue and submit timeouts
+    for backpressure
     (:class:`ServerOverloadedError` / :class:`ServerClosedError`).
 :mod:`repro.serve.server`
     :class:`Server` — the worker-pool front end with corpus warm-up and a
-    live statistics snapshot.
+    live statistics snapshot — and its stream-session surface:
+    :class:`SessionManager` / :class:`ServerSession` multiplex push-based
+    :class:`~repro.api.session.StreamSession` streams (see
+    :meth:`repro.api.engine.Engine.open_session`) over the shared
+    micro-batches, with per-session frame ordering, an idle-TTL sweep and
+    a session cap.
 :mod:`repro.serve.stats`
     :class:`StatsRecorder` / :class:`ServerStats` — throughput, latency
-    percentiles (p50/p95/p99), batching shape and cache efficiency.
+    percentiles (p50/p95/p99), batching shape, cache efficiency and
+    per-session frame stats (:class:`SessionFrameStats`).
 :mod:`repro.serve.loadgen`
-    :func:`run_load` / :class:`LoadReport` — the multi-client load
-    generator behind ``repro loadtest`` and ``examples/serving_demo.py``.
+    :func:`run_load` / :class:`LoadReport` — the multi-client one-shot load
+    generator — and the video-client mode: :func:`run_stream_load` /
+    :class:`StreamLoadReport` drive N concurrent sessions frame by frame.
+    Both behind ``repro loadtest`` and the examples.
 
 Quickstart::
 
@@ -26,6 +35,9 @@ Quickstart::
     with Server(workers=4) as server:
         server.warmup()
         result = server.process(image, max_distortion=10.0)
+
+        with server.open_session(max_distortion=10.0) as session:
+            outcome = session.submit(frame).result()
         print(server.stats().as_dict())
 """
 
@@ -36,23 +48,39 @@ from repro.serve.coalescer import (
 )
 from repro.serve.loadgen import (
     LoadReport,
+    StreamLoadReport,
     report_table,
     run_load,
+    run_stream_load,
+    stream_report_table,
     time_serial_baseline,
+    time_serial_stream_baseline,
 )
-from repro.serve.server import Server
-from repro.serve.stats import ServerStats, StatsRecorder, percentile
+from repro.serve.server import Server, ServerSession, SessionManager
+from repro.serve.stats import (
+    ServerStats,
+    SessionFrameStats,
+    StatsRecorder,
+    percentile,
+)
 
 __all__ = [
     "Server",
+    "ServerSession",
+    "SessionManager",
     "RequestCoalescer",
     "ServerClosedError",
     "ServerOverloadedError",
     "ServerStats",
+    "SessionFrameStats",
     "StatsRecorder",
     "LoadReport",
+    "StreamLoadReport",
     "run_load",
+    "run_stream_load",
     "report_table",
+    "stream_report_table",
     "time_serial_baseline",
+    "time_serial_stream_baseline",
     "percentile",
 ]

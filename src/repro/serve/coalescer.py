@@ -19,6 +19,18 @@ implements that gather:
   ``submit`` blocks up to its timeout and then raises
   :class:`ServerOverloadedError` — backpressure instead of unbounded memory.
 
+Beyond one-shot requests the coalescer also carries **stream-session
+frames** (:meth:`RequestCoalescer.submit_frame`): a frame belonging to a
+long-lived :class:`~repro.api.session.StreamSession` served by the
+:class:`~repro.serve.server.SessionManager`.  Session frames from *many*
+sessions interleave into the same micro-batches as one-shot traffic — the
+frame's raw per-frame policy result comes out of the shared
+``process_batch`` tick, and the session's temporal step
+(:meth:`~repro.api.session.StreamSession.complete`) runs in the worker
+afterwards.  Per-session frame order is preserved because the session
+manager keeps at most one frame of a session in flight; the flicker bound
+is enforced inside the session's own smoother, never here.
+
 The coalescer is intentionally engine-agnostic: anything with a
 ``process_batch(images, max_distortion, algorithm=...)`` method works, which
 is what the unit tests exploit.
@@ -53,13 +65,21 @@ class ServerClosedError(RuntimeError):
 
 @dataclass
 class _PendingRequest:
-    """One queued request: payload plus its future and enqueue timestamp."""
+    """One queued request: payload plus its future and enqueue timestamp.
+
+    ``session`` is ``None`` for a one-shot request; for a stream-session
+    frame it is the serve-side session handle (begin/compute/complete
+    surface plus ``frame_done``), and ``plan`` is filled by the executing
+    worker once :meth:`~repro.api.session.StreamSession.begin` ran.
+    """
 
     image: Image
     max_distortion: float
     algorithm: str | CompensationAlgorithm | None
     future: Future = field(default_factory=Future)
     enqueued_at: float = 0.0
+    session: object | None = None
+    plan: object | None = None
 
     def group_key(self):
         """Requests sharing this key can ride in one engine batch.
@@ -155,10 +175,44 @@ class RequestCoalescer:
             raise ValueError("max_distortion must be non-negative")
         request = _PendingRequest(image=image, max_distortion=max_distortion,
                                   algorithm=algorithm)
+        return self._enqueue(request, timeout=timeout, force=False)
+
+    def submit_frame(self, session, frame: Image,
+                     timeout: float | None = 1.0, force: bool = False,
+                     future: Future | None = None,
+                     enqueued_at: float | None = None) -> Future:
+        """Enqueue one stream-session frame; returns its future immediately.
+
+        ``session`` is the serve-side handle of a
+        :class:`~repro.serve.server.SessionManager` session: it names the
+        frame's algorithm instance and budget (so the frame groups with
+        compatible one-shot traffic) and carries the split-phase surface the
+        worker drives.  ``force=True`` bypasses the backpressure wait — used
+        by the session manager when a worker pumps a session's next queued
+        frame, where blocking the worker on its own queue would deadlock;
+        the bypass is bounded by the one-in-flight-per-session invariant.
+        ``future`` lets the pump re-use the future it already handed out,
+        and ``enqueued_at`` (a ``time.perf_counter`` value) preserves the
+        frame's original admission time so the recorded latency covers the
+        session-queue wait, not just the coalescer leg.
+        """
+        request = _PendingRequest(
+            image=frame, max_distortion=session.max_distortion,
+            algorithm=session.algorithm, session=session)
+        if future is not None:
+            request.future = future
+        if enqueued_at is not None:
+            request.enqueued_at = float(enqueued_at)
+        return self._enqueue(request, timeout=timeout, force=force)
+
+    def _enqueue(self, request: _PendingRequest, timeout: float | None,
+                 force: bool) -> Future:
+        """Shared admission path: backpressure, shutdown fence, bookkeeping."""
         deadline = (None if timeout is None
                     else time.monotonic() + max(timeout, 0.0))
         with self._cond:
-            while len(self._pending) >= self.max_pending and not self._closed:
+            while (not force and len(self._pending) >= self.max_pending
+                   and not self._closed):
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
                 if remaining is not None and remaining <= 0:
@@ -174,7 +228,8 @@ class RequestCoalescer:
                 if self._recorder is not None:
                     self._recorder.note_rejected()
                 raise ServerClosedError("the serving loop has been closed")
-            request.enqueued_at = time.perf_counter()
+            if not request.enqueued_at:
+                request.enqueued_at = time.perf_counter()
             self._pending.append(request)
             # record before a worker can possibly complete the request, so
             # a stats snapshot never sees completed > submitted
@@ -218,53 +273,115 @@ class RequestCoalescer:
                 self._execute(batch)
 
     def _execute(self, batch: Sequence[_PendingRequest]) -> None:
-        """Run one claimed micro-batch: group, batch-process, resolve."""
-        groups: dict[tuple, list[_PendingRequest]] = {}
+        """Run one claimed micro-batch: plan, group, batch-process, resolve.
+
+        One-shot requests resolve to the raw engine result.  Session frames
+        first :meth:`~repro.api.session.StreamSession.begin` (advancing the
+        session's scene/rolling state, deciding whether the frame needs a
+        solve), then take their raw result from the shared engine batch
+        (batchable frames) or from the session itself (fast-path frames),
+        and finally :meth:`~repro.api.session.StreamSession.complete` the
+        temporal step before the future resolves.
+        """
+        ready: list[_PendingRequest] = []
         for request in batch:
-            groups.setdefault(request.group_key(), []).append(request)
-        for members in groups.values():
             # transition each future to RUNNING; a client may have
             # cancelled a pending request (e.g. after a wait timeout), and
             # resolving a cancelled future would crash the worker
-            live = [member for member in members
-                    if member.future.set_running_or_notify_cancel()]
-            if self._recorder is not None and len(live) < len(members):
-                self._recorder.note_failed(len(members) - len(live))
-            if not live:
+            if not request.future.set_running_or_notify_cancel():
+                if self._recorder is not None:
+                    self._recorder.note_failed(1)
+                self._after_request(request)
                 continue
-            head = live[0]
+            if request.session is not None:
+                try:
+                    request.plan = request.session.begin(request.image)
+                except BaseException as exc:   # noqa: BLE001 - forwarded
+                    self._fail_request(request, exc)
+                    continue
+            ready.append(request)
+
+        groups: dict[tuple, list[_PendingRequest]] = {}
+        singles: list[_PendingRequest] = []
+        for request in ready:
+            if request.plan is not None and not request.plan.batchable:
+                singles.append(request)
+            else:
+                groups.setdefault(request.group_key(), []).append(request)
+
+        # the fast-path frames first: a steady-scene replay is one cheap LUT
+        # application and must not wait behind the tick's full solves
+        for request in singles:
+            try:
+                raw = request.session.compute(request.plan)
+            except BaseException as exc:   # noqa: BLE001 - forwarded
+                self._fail_request(request, exc)
+                continue
+            self._resolve(request, raw, time.perf_counter())
+
+        for members in groups.values():
+            head = members[0]
             try:
                 results = self.engine.process_batch(
-                    [member.image for member in live],
+                    [member.plan.grayscale if member.plan is not None
+                     else member.image for member in members],
                     head.max_distortion, algorithm=head.algorithm)
             except BaseException as exc:   # noqa: BLE001 - forwarded, not hidden
-                for member in live:
-                    member.future.set_exception(exc)
-                if self._recorder is not None:
-                    self._recorder.note_failed(len(live))
+                for member in members:
+                    self._fail_request(member, exc)
                 continue
-            if len(results) != len(live):
+            if len(results) != len(members):
                 # a zip over mismatched lengths would silently strand the
                 # tail futures in RUNNING forever; fail every member fast
                 error = RuntimeError(
                     f"engine returned {len(results)} results for a batch "
-                    f"of {len(live)} images")
-                for member in live:
-                    member.future.set_exception(error)
-                if self._recorder is not None:
-                    self._recorder.note_failed(len(live))
+                    f"of {len(members)} images")
+                for member in members:
+                    self._fail_request(member, error)
                 continue
             if self._recorder is not None:
-                self._recorder.note_batch(len(live))
+                self._recorder.note_batch(len(members))
             completed_at = time.perf_counter()
-            for member, result in zip(live, results):
-                # record completion before resolving the future: a client
-                # woken by ``result()`` must never observe a stats snapshot
-                # that has not yet counted its own request
-                if self._recorder is not None:
-                    self._recorder.note_completed(
-                        completed_at - member.enqueued_at)
-                member.future.set_result(result)
+            for member, result in zip(members, results):
+                self._resolve(member, result, completed_at)
+
+    def _resolve(self, request: _PendingRequest, raw,
+                 completed_at: float) -> None:
+        """Finish one RUNNING request with its raw engine result."""
+        if request.session is not None:
+            try:
+                raw = request.session.complete(request.plan, raw)
+            except BaseException as exc:   # noqa: BLE001 - forwarded
+                self._fail_request(request, exc)
+                return
+        latency = completed_at - request.enqueued_at
+        # record completion before resolving the future: a client woken by
+        # ``result()`` must never observe a stats snapshot that has not yet
+        # counted its own request
+        if self._recorder is not None:
+            self._recorder.note_completed(latency)
+            if request.session is not None:
+                self._recorder.note_session_frame(request.session.id, latency)
+        request.future.set_result(raw)
+        self._after_request(request)
+
+    def _fail_request(self, request: _PendingRequest,
+                      error: BaseException) -> None:
+        """Answer one RUNNING request with an exception."""
+        request.future.set_exception(error)
+        if self._recorder is not None:
+            self._recorder.note_failed(1)
+        self._after_request(request)
+
+    def _after_request(self, request: _PendingRequest) -> None:
+        """Post-resolution hook: let a session pump its next queued frame.
+
+        Runs after the future settled (either way), so a session's next
+        frame can never begin before the previous frame's outcome is
+        visible to its client.
+        """
+        if request.session is not None:
+            request.session.frame_done()
 
     # ------------------------------------------------------------------ #
     # lifecycle

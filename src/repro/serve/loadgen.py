@@ -3,15 +3,23 @@
 Simulates the workload the ROADMAP targets: many concurrent clients
 requesting backlight compensation for content with heavily repeated
 histograms (the same photos, consecutive frames of mostly-still scenes).
-:func:`run_load` spawns ``clients`` threads that start together behind a
-barrier and hammer one shared server; the returned :class:`LoadReport`
-carries wall time, throughput, latency percentiles and the server's own
-statistics snapshot.
+Two client shapes:
 
-``repro loadtest`` prints the report (optionally timing the serial
-``process``-per-request baseline for a speedup figure) and can emit it as
-JSON for the CI perf trajectory; ``examples/serving_demo.py`` walks through
-the same flow narratively.
+* **one-shot** — :func:`run_load` spawns ``clients`` threads that start
+  together behind a barrier and hammer one shared server with independent
+  requests; the returned :class:`LoadReport` carries wall time, throughput,
+  latency percentiles and the server's own statistics snapshot.
+* **video** — :func:`run_stream_load` gives every client a *clip* and a
+  long-lived stream session (:meth:`Server.open_session
+  <repro.serve.server.Server.open_session>`): frames are pushed one at a
+  time, each awaited before the next, the way a decoder drives a display.
+  The returned :class:`StreamLoadReport` adds per-session applied-backlight
+  traces so callers can verify the flicker bound end to end.
+
+``repro loadtest`` prints either report (optionally timing the serial
+baseline for a speedup figure) and can emit it as JSON for the CI perf
+trajectory; ``examples/serving_demo.py`` and
+``examples/stream_sessions.py`` walk through the same flows narratively.
 """
 
 from __future__ import annotations
@@ -22,12 +30,21 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.analysis.reporting import Table
-from repro.api.types import CompensationResult
+from repro.api.types import CompensationResult, StreamFrameResult
 from repro.imaging.image import Image
 from repro.serve.server import Server
 from repro.serve.stats import ServerStats, percentile
 
-__all__ = ["LoadReport", "run_load", "report_table", "time_serial_baseline"]
+__all__ = [
+    "LoadReport",
+    "StreamLoadReport",
+    "run_load",
+    "run_stream_load",
+    "report_table",
+    "stream_report_table",
+    "time_serial_baseline",
+    "time_serial_stream_baseline",
+]
 
 
 def time_serial_baseline(engine, images: Sequence[Image],
@@ -158,6 +175,195 @@ def run_load(server: Server, images: Sequence[Image],
     )
 
 
+def _session_options_for(session_options, index: int) -> dict:
+    """Resolve per-session options: a mapping is shared verbatim, a callable
+    is invoked with the session index so every session can get *fresh*
+    mutable state (a :class:`~repro.core.temporal.BacklightSmoother` shared
+    across sessions would leak one stream's temporal state into the next)."""
+    if callable(session_options):
+        return dict(session_options(index) or {})
+    return dict(session_options or {})
+
+
+def time_serial_stream_baseline(engine, clips: Sequence[Sequence[Image]],
+                                max_distortion: float, algorithm=None,
+                                session_options=None):
+    """Time the pre-serving video convention: one engine session per clip,
+    run to completion before the next clip starts, nothing coalesced.
+
+    Pass a cache-disabled engine (``Engine(..., cache_size=0)``) for the
+    truly independent baseline.  ``session_options`` is a mapping forwarded
+    to every ``open_session`` call, or a callable ``index -> mapping`` when
+    sessions need fresh per-session state (smoothers are mutable!).
+    Returns ``(seconds, outcomes)`` where ``outcomes[i]`` is clip ``i``'s
+    list of :class:`~repro.api.types.StreamFrameResult`, so callers can
+    verify the served outputs against the serial ones.
+    """
+    outcomes: list[list[StreamFrameResult]] = []
+    start = time.perf_counter()
+    for index, clip in enumerate(clips):
+        options = _session_options_for(session_options, index)
+        with engine.open_session(max_distortion, algorithm=algorithm,
+                                 **options) as session:
+            outcomes.append([session.submit(frame) for frame in clip])
+    return time.perf_counter() - start, outcomes
+
+
+@dataclass(frozen=True)
+class StreamLoadReport:
+    """Outcome of one :func:`run_stream_load` session.
+
+    ``latencies`` are per-frame submit-to-result times (seconds) across all
+    sessions; ``traces`` maps each session's id to its applied-backlight
+    factor per frame (display order), the series the flicker bound is
+    verified on; ``outcomes`` maps session id to the full per-frame results.
+    ``errors`` counts frames that raised instead of resolving.
+    """
+
+    sessions: int
+    frames: int
+    errors: int
+    elapsed_seconds: float
+    latencies: Sequence[float]
+    traces: Mapping[str, Sequence[float]]
+    outcomes: Mapping[str, Sequence[StreamFrameResult]]
+    stats: ServerStats
+
+    @property
+    def throughput(self) -> float:
+        """Completed frames per second of wall time."""
+        completed = self.frames - self.errors
+        return completed / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def latency_p50(self) -> float:
+        return percentile(self.latencies, 50)
+
+    @property
+    def latency_p95(self) -> float:
+        return percentile(self.latencies, 95)
+
+    @property
+    def latency_p99(self) -> float:
+        return percentile(self.latencies, 99)
+
+    def worst_step(self) -> float:
+        """Largest frame-to-frame applied-backlight change of any session."""
+        worst = 0.0
+        for trace in self.traces.values():
+            for previous, current in zip(trace, trace[1:]):
+                worst = max(worst, abs(current - previous))
+        return worst
+
+    def session_p95(self) -> Mapping[str, float]:
+        """Per-session p95 frame latency (seconds), from the server stats."""
+        return {sid: entry.latency_p95
+                for sid, entry in self.stats.sessions.items()
+                if sid in self.traces}
+
+    def as_dict(self) -> Mapping[str, float | int]:
+        """A flat, JSON-ready view (latencies in ms)."""
+        return {
+            "sessions": self.sessions,
+            "frames": self.frames,
+            "errors": self.errors,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "throughput_fps": round(self.throughput, 3),
+            "latency_p50_ms": round(1e3 * self.latency_p50, 3),
+            "latency_p95_ms": round(1e3 * self.latency_p95, 3),
+            "latency_p99_ms": round(1e3 * self.latency_p99, 3),
+            "worst_backlight_step": round(self.worst_step(), 6),
+            **{f"server_{key}": value
+               for key, value in self.stats.as_dict().items()},
+        }
+
+
+def run_stream_load(server: Server, clips: Sequence[Sequence[Image]],
+                    max_distortion: float = 10.0, *, algorithm=None,
+                    result_timeout: float = 60.0,
+                    session_options=None) -> StreamLoadReport:
+    """Drive ``server`` with one video client per clip, concurrently.
+
+    Every client opens a stream session, pushes its clip frame by frame —
+    awaiting each :class:`~repro.api.types.StreamFrameResult` before
+    submitting the next, the way a real decoder paces a display — and
+    closes the session.  All clients start together behind a barrier.
+    ``session_options`` is a mapping forwarded to every
+    :meth:`~repro.serve.server.Server.open_session` call, or a callable
+    ``index -> mapping`` when sessions need fresh per-session state (a
+    shared mutable ``smoother=`` would leak temporal state across
+    sessions).
+    """
+    if not clips:
+        raise ValueError("the workload must contain at least one clip")
+    if any(not clip for clip in clips):
+        raise ValueError("every clip must contain at least one frame")
+    barrier = threading.Barrier(len(clips) + 1)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    traces: dict[str, list[float]] = {}
+    outcomes: dict[str, list[StreamFrameResult]] = {}
+    errors = [0]
+
+    def client(index: int, clip: Sequence[Image]) -> None:
+        try:
+            session = server.open_session(
+                max_distortion, algorithm=algorithm,
+                **_session_options_for(session_options, index))
+        except Exception:   # noqa: BLE001 - e.g. the session cap
+            # the clip is lost, but the barrier must not strand the others
+            with lock:
+                errors[0] += len(clip)
+            barrier.wait()
+            return
+        trace: list[float] = []
+        results: list[StreamFrameResult] = []
+        barrier.wait()
+        try:
+            for frame in clip:
+                started = time.perf_counter()
+                try:
+                    outcome = session.submit(frame).result(
+                        timeout=result_timeout)
+                except Exception:   # noqa: BLE001 - tallied, clip continues
+                    with lock:
+                        errors[0] += 1
+                    continue
+                latency = time.perf_counter() - started
+                trace.append(outcome.applied_backlight)
+                results.append(outcome)
+                with lock:
+                    latencies.append(latency)
+        finally:
+            session.close()
+            with lock:
+                traces[session.id] = trace
+                outcomes[session.id] = results
+
+    threads = [threading.Thread(target=client, args=(index, clip),
+                                daemon=True,
+                                name=f"repro-streamgen-{index}")
+               for index, clip in enumerate(clips)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    return StreamLoadReport(
+        sessions=len(clips),
+        frames=sum(len(clip) for clip in clips),
+        errors=errors[0],
+        elapsed_seconds=elapsed,
+        latencies=tuple(latencies),
+        traces={sid: tuple(trace) for sid, trace in traces.items()},
+        outcomes={sid: tuple(results) for sid, results in outcomes.items()},
+        stats=server.stats(),
+    )
+
+
 def report_table(report: LoadReport,
                  serial_seconds: float | None = None) -> Table:
     """Render a :class:`LoadReport` as the CLI's quantity/value table.
@@ -190,6 +396,48 @@ def report_table(report: LoadReport,
     return Table(
         title=(f"Load test: {report.requests} requests from "
                f"{report.clients} clients"),
+        columns=("quantity", "value"),
+        precision=3,
+    ).with_rows(rows)
+
+
+def stream_report_table(report: StreamLoadReport,
+                        serial_seconds: float | None = None) -> Table:
+    """Render a :class:`StreamLoadReport` as the CLI's quantity/value table.
+
+    ``serial_seconds`` (wall time of the equivalent serial
+    session-per-clip loop, see :func:`time_serial_stream_baseline`) adds
+    the headline speedup row.
+    """
+    stats = report.stats
+    rows = [
+        {"quantity": "sessions", "value": report.sessions},
+        {"quantity": "frames", "value": report.frames},
+        {"quantity": "errors", "value": report.errors},
+        {"quantity": "wall time (s)", "value": report.elapsed_seconds},
+        {"quantity": "throughput (frames/s)", "value": report.throughput},
+        {"quantity": "frame latency p50 (ms)",
+         "value": 1e3 * report.latency_p50},
+        {"quantity": "frame latency p95 (ms)",
+         "value": 1e3 * report.latency_p95},
+        {"quantity": "frame latency p99 (ms)",
+         "value": 1e3 * report.latency_p99},
+        {"quantity": "worst backlight step", "value": report.worst_step()},
+        {"quantity": "engine batches", "value": stats.batches},
+        {"quantity": "mean batch size", "value": stats.mean_batch_size},
+        {"quantity": "cache hit rate %", "value": 100.0 * stats.cache.hit_rate},
+        {"quantity": "cache reuse rate %",
+         "value": 100.0 * stats.cache.reuse_rate},
+    ]
+    if serial_seconds is not None:
+        rows.append({"quantity": "serial baseline (s)",
+                     "value": serial_seconds})
+        rows.append({"quantity": "speedup vs serial",
+                     "value": (serial_seconds / report.elapsed_seconds
+                               if report.elapsed_seconds else float("inf"))})
+    return Table(
+        title=(f"Stream load test: {report.frames} frames from "
+               f"{report.sessions} concurrent sessions"),
         columns=("quantity", "value"),
         precision=3,
     ).with_rows(rows)

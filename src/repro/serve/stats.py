@@ -9,7 +9,10 @@ the latency window and the engine's cache statistics into an immutable
 
 Latency percentiles are computed over a bounded sliding window (the most
 recent ``window`` completions) so a long-lived server reports its *current*
-tail, not its lifetime average, and memory stays constant.
+tail, not its lifetime average, and memory stays constant.  Stream-session
+frames additionally feed bounded per-session windows, surfaced as
+:class:`SessionFrameStats` under :attr:`ServerStats.sessions` (plus the
+aggregate ``sessions_open`` / ``session_frames`` counters).
 """
 
 from __future__ import annotations
@@ -17,13 +20,19 @@ from __future__ import annotations
 import math
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.api.cache import CacheStats
 
-__all__ = ["percentile", "ServerStats", "StatsRecorder"]
+__all__ = ["percentile", "ServerStats", "SessionFrameStats", "StatsRecorder"]
+
+#: Most recent frame latencies retained per stream session, and the number
+#: of per-session windows retained (oldest sessions age out first), so a
+#: long-lived server's session telemetry stays bounded.
+_SESSION_WINDOW = 512
+_MAX_SESSION_WINDOWS = 256
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -38,6 +47,31 @@ def percentile(values: Sequence[float], q: float) -> float:
     ordered = sorted(values)
     rank = math.ceil(q / 100.0 * len(ordered)) - 1
     return float(ordered[max(0, min(rank, len(ordered) - 1))])
+
+
+@dataclass(frozen=True)
+class SessionFrameStats:
+    """Per-session frame telemetry inside a :class:`ServerStats` snapshot.
+
+    Latencies are submit-to-completion times of the session's most recent
+    frames (seconds, bounded window).
+    """
+
+    session_id: str
+    frames: int
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+
+    def as_dict(self) -> Mapping[str, float | int | str]:
+        """A flat, JSON-ready view (latencies in ms)."""
+        return {
+            "session_id": self.session_id,
+            "frames": self.frames,
+            "latency_mean_ms": round(1e3 * self.latency_mean, 3),
+            "latency_p50_ms": round(1e3 * self.latency_p50, 3),
+            "latency_p95_ms": round(1e3 * self.latency_p95, 3),
+        }
 
 
 @dataclass(frozen=True)
@@ -68,6 +102,16 @@ class ServerStats:
         Requests pending in the coalescer at snapshot time.
     cache:
         The engine's :class:`~repro.api.cache.CacheStats` at snapshot time.
+    sessions_open:
+        Stream sessions open on the server at snapshot time.
+    sessions_opened, sessions_closed, sessions_evicted:
+        Lifetime session counters; evictions (idle sessions reaped by the
+        TTL sweep) also count as closed.
+    session_frames:
+        Stream-session frames completed (a subset of ``completed``).
+    sessions:
+        Per-session frame telemetry, keyed by session id (most recent
+        sessions; bounded).
     """
 
     submitted: int
@@ -84,6 +128,12 @@ class ServerStats:
     latency_p99: float
     queue_depth: int
     cache: CacheStats
+    sessions_open: int = 0
+    sessions_opened: int = 0
+    sessions_closed: int = 0
+    sessions_evicted: int = 0
+    session_frames: int = 0
+    sessions: Mapping[str, SessionFrameStats] = field(default_factory=dict)
 
     @property
     def in_flight(self) -> int:
@@ -106,6 +156,11 @@ class ServerStats:
             "latency_p95_ms": round(1e3 * self.latency_p95, 3),
             "latency_p99_ms": round(1e3 * self.latency_p99, 3),
             "queue_depth": self.queue_depth,
+            "sessions_open": self.sessions_open,
+            "sessions_opened": self.sessions_opened,
+            "sessions_closed": self.sessions_closed,
+            "sessions_evicted": self.sessions_evicted,
+            "session_frames": self.session_frames,
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_replays": self.cache.replays,
@@ -139,6 +194,13 @@ class StatsRecorder:
         self._batches = 0
         self._batched_requests = 0
         self._first_submit: float | None = None
+        self._sessions_opened = 0
+        self._sessions_closed = 0
+        self._sessions_evicted = 0
+        self._session_frames = 0
+        # per-session latency windows, oldest session aged out first so a
+        # long-lived server's telemetry stays bounded
+        self._session_latencies: OrderedDict[str, deque[float]] = OrderedDict()
 
     def note_submitted(self, count: int = 1) -> None:
         """Record ``count`` requests accepted into the queue."""
@@ -170,12 +232,54 @@ class StatsRecorder:
             self._batches += 1
             self._batched_requests += size
 
+    def note_session_opened(self, count: int = 1) -> None:
+        """Record ``count`` stream sessions opened."""
+        with self._lock:
+            self._sessions_opened += count
+
+    def note_session_closed(self, count: int = 1,
+                            evicted: bool = False) -> None:
+        """Record ``count`` stream sessions closed (``evicted`` marks
+        closures performed by the idle-TTL sweep)."""
+        with self._lock:
+            self._sessions_closed += count
+            if evicted:
+                self._sessions_evicted += count
+
+    def note_session_frame(self, session_id: str,
+                           latency_seconds: float) -> None:
+        """Record one completed stream-session frame and its latency.
+
+        Called *in addition to* :meth:`note_completed` — session frames are
+        ordinary completions that additionally feed the per-session window.
+        """
+        with self._lock:
+            self._session_frames += 1
+            window = self._session_latencies.get(session_id)
+            if window is None:
+                window = deque(maxlen=_SESSION_WINDOW)
+                self._session_latencies[session_id] = window
+                while len(self._session_latencies) > _MAX_SESSION_WINDOWS:
+                    self._session_latencies.popitem(last=False)
+            window.append(float(latency_seconds))
+
     def snapshot(self, cache: CacheStats | None = None,
-                 queue_depth: int = 0) -> ServerStats:
+                 queue_depth: int = 0,
+                 sessions_open: int = 0) -> ServerStats:
         """A consistent :class:`ServerStats` of everything recorded so far."""
         now = self._clock()
         with self._lock:
             latencies = list(self._latencies)
+            sessions = {
+                sid: SessionFrameStats(
+                    session_id=sid,
+                    frames=len(window),
+                    latency_mean=sum(window) / len(window),
+                    latency_p50=percentile(window, 50),
+                    latency_p95=percentile(window, 95),
+                )
+                for sid, window in self._session_latencies.items() if window
+            }
             elapsed = (now - self._first_submit
                        if self._first_submit is not None else 0.0)
             mean_batch = (self._batched_requests / self._batches
@@ -199,4 +303,10 @@ class StatsRecorder:
                 cache=cache if cache is not None else CacheStats(
                     hits=0, misses=0, size=0, max_size=0, evictions=0,
                     replays=0),
+                sessions_open=sessions_open,
+                sessions_opened=self._sessions_opened,
+                sessions_closed=self._sessions_closed,
+                sessions_evicted=self._sessions_evicted,
+                session_frames=self._session_frames,
+                sessions=sessions,
             )

@@ -190,3 +190,33 @@ class TestTemporalBacklightController:
     def test_validation(self, pipeline):
         with pytest.raises(ValueError, match="non-negative"):
             TemporalBacklightController(pipeline, max_distortion=-1.0)
+
+
+class TestDataclassHygiene:
+    """The private mutable state of the temporal dataclasses must be
+    init-excluded, repr-excluded, and honestly annotated."""
+
+    def test_rolling_histogram_weights_field(self):
+        import typing
+
+        field = RollingHistogram.__dataclass_fields__["_weights"]
+        assert not field.init
+        assert not field.repr
+        hints = typing.get_type_hints(RollingHistogram)
+        assert type(None) in typing.get_args(hints["_weights"])
+        assert RollingHistogram().is_empty        # default really is None
+
+    def test_smoother_current_field(self):
+        field = BacklightSmoother.__dataclass_fields__["_current"]
+        assert not field.init
+        assert not field.repr
+        # the repr stays a constructor-shaped view of the public knobs
+        assert "_current" not in repr(BacklightSmoother(initial=0.5))
+
+    def test_smoother_current_cannot_be_injected(self):
+        with pytest.raises(TypeError):
+            BacklightSmoother(_current=0.2)
+
+    def test_rolling_weights_cannot_be_injected(self):
+        with pytest.raises(TypeError):
+            RollingHistogram(_weights=None)

@@ -168,6 +168,34 @@ class TestLoadtestCommand:
         assert "speedup_vs_serial" in payload
         assert "latency_p99_ms" in payload
 
+    def test_loadtest_stream_mode(self, capsys):
+        assert main(["loadtest", "--streams", "2", "--frames", "4",
+                     "--workers", "2", "--no-warmup"]) == 0
+        output = capsys.readouterr().out
+        assert "Stream load test: 8 frames from 2 concurrent sessions" in output
+        assert "throughput (frames/s)" in output
+        assert "worst backlight step" in output
+
+    def test_loadtest_stream_mode_json(self, tmp_path, capsys):
+        import json
+
+        destination = tmp_path / "stream.json"
+        assert main(["loadtest", "--streams", "2", "--frames", "3",
+                     "--workers", "2", "--no-warmup",
+                     "--json", str(destination)]) == 0
+        payload = json.loads(destination.read_text())
+        assert payload["sessions"] == 2
+        assert payload["frames"] == 6
+        assert "worst_backlight_step" in payload
+        assert "server_session_frames" in payload
+
+    def test_loadtest_stream_defaults(self):
+        args = build_parser().parse_args(["loadtest"])
+        assert args.streams == 0            # one-shot mode by default
+        assert args.frames == 24
+        assert args.max_sessions == 64
+        assert args.session_ttl == 300.0
+
 
 class TestCharacterizeCommand:
     def test_characterize_directory(self, tmp_path, capsys):
