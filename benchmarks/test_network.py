@@ -1,0 +1,103 @@
+"""Benchmark: histogram-only solve RPCs versus full-image process RPCs.
+
+The bandwidth argument of the remote serving API, measured: a client that
+ships a 256-bin histogram and applies the returned LUT locally
+(``Client.compensate`` — the paper's Fig. 4 decomposition across a socket)
+must beat the same client shipping whole images both ways
+(``Client.process``) by at least 2x on the same duplicate-heavy corpus,
+with **bit-identical** outputs.  The solve path moves O(histogram) bytes
+and replays a cached solution; the process path moves O(pixels) each way
+and pays the server-side apply plus distortion/power accounting.
+
+Measured throughput and latency are emitted as ``BENCH_network.json``
+(override the location with the ``BENCH_NETWORK_JSON`` environment
+variable) so CI accumulates a perf trajectory next to
+``BENCH_serving.json`` and ``BENCH_sessions.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.registry import HEBSAlgorithm
+from repro.bench.throughput import repeated_workload
+from repro.client import Client
+from repro.serve import NetworkServer, Server
+
+#: Duplicate-heavy workload shape: 4 distinct histograms, 8 repeats each.
+WORKLOAD_REPEATS = 8
+BUDGET = 10.0
+
+
+@pytest.mark.paper_experiment("network")
+def test_solve_rpc_at_least_2x_process_rpc(pipeline):
+    workload = repeated_workload(repeats=WORKLOAD_REPEATS)
+
+    server = Server(engine=Engine(HEBSAlgorithm(pipeline)), workers=4,
+                    max_batch=32, max_delay=0.002)
+    network = NetworkServer(server)
+    host, port = network.start()
+    try:
+        server.warmup(workload, budgets=(BUDGET,))
+        with Client(host=host, port=port, timeout=120.0) as client:
+            # one warm round trip per path: connection setup, first-touch
+            # codec/JIT costs must not bias either side
+            client.process(workload[0], BUDGET)
+            client.compensate(workload[0], BUDGET)
+
+            start = time.perf_counter()
+            processed = [client.process(image, BUDGET)
+                         for image in workload]
+            process_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            compensated = [client.compensate(image, BUDGET)
+                           for image in workload]
+            solve_seconds = time.perf_counter() - start
+    finally:
+        network.close()
+
+    speedup = process_seconds / solve_seconds
+    solve_rps = len(workload) / solve_seconds
+    process_rps = len(workload) / process_seconds
+
+    # write the perf artifact before any assertion: the run that fails
+    # the gate is exactly the run whose numbers need diagnosing
+    payload = {
+        "benchmark": "network",
+        "workload": {
+            "requests": len(workload),
+            "distinct_histograms": len(workload) // WORKLOAD_REPEATS,
+            "budget_percent": BUDGET,
+            "algorithm": "hebs",
+        },
+        "process_rpc_seconds": round(process_seconds, 6),
+        "solve_rpc_seconds": round(solve_seconds, 6),
+        "speedup_solve_vs_process": round(speedup, 3),
+        "solve_rpc_throughput_rps": round(solve_rps, 3),
+        "process_rpc_throughput_rps": round(process_rps, 3),
+        "solve_rpc_mean_latency_ms": round(
+            1e3 * solve_seconds / len(workload), 3),
+        "process_rpc_mean_latency_ms": round(
+            1e3 * process_seconds / len(workload), 3),
+    }
+    destination = Path(os.environ.get("BENCH_NETWORK_JSON",
+                                      "BENCH_network.json"))
+    destination.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # the histogram-only path must reproduce the full-image path bitwise:
+    # same output pixels, same programmed backlight, request by request
+    for local, remote in zip(compensated, processed):
+        assert np.array_equal(local.output.pixels, remote.output.pixels)
+        assert local.backlight_factor == remote.backlight_factor
+
+    assert speedup >= 2.0, (
+        f"solve RPCs must be at least 2x full-image process RPCs, got "
+        f"{speedup:.2f}x ({process_seconds:.3f}s vs {solve_seconds:.3f}s)")

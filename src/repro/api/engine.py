@@ -36,7 +36,11 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from repro.api.cache import CacheStats, SolutionCache, histogram_signature
 from repro.api.registry import CompensationAlgorithm, create
 from repro.api.session import StreamSession
-from repro.api.types import CompensationResult, StreamFrameResult
+from repro.api.types import (
+    CompensationResult,
+    CompensationSolution,
+    StreamFrameResult,
+)
 from repro.core.histogram import Histogram
 from repro.core.temporal import (
     BacklightSmoother,
@@ -181,6 +185,43 @@ class Engine:
                                      max_distortion=max_distortion)
         self._note_processed()
         return replace(result, from_cache=hit) if hit else result
+
+    def solve(self, source: Image | Histogram, max_distortion: float,
+              algorithm: str | CompensationAlgorithm | None = None,
+              ) -> CompensationSolution:
+        """Histogram-only solve: the paper-native fast path of Fig. 4.
+
+        Derives (or replays from the shared cache) the image-independent
+        :class:`~repro.api.types.CompensationSolution` — transformation,
+        backlight factor, driver program — for a distortion budget, without
+        ever applying it to pixels.  ``source`` may be an
+        :class:`~repro.imaging.image.Image` (its histogram is what matters)
+        or a bare :class:`~repro.core.histogram.Histogram`, which is all a
+        remote client needs to ship (see :mod:`repro.serve.protocol`): the
+        returned solution's LUT is applied client-side, so the bandwidth is
+        O(histogram) instead of O(pixels).
+
+        A bare histogram is realized as a canonical synthetic image
+        (:meth:`Histogram.to_image <repro.core.histogram.Histogram.to_image>`)
+        before entering the per-image algorithm surface; the cache key — the
+        quantized histogram signature — is identical either way, so solve
+        traffic and :meth:`process` traffic share solutions.  For the
+        histogram-driven techniques (``hebs``, the DLS variants, ``cbcs``)
+        the solution is bit-identical to the one :meth:`process` derives on
+        the full image; ``hebs-adaptive`` bisects on distortion *measured*
+        on the histogram-realizing image, which approximates (rather than
+        reproduces) its per-image selection when the measure is
+        layout-sensitive.
+        """
+        if max_distortion < 0:
+            raise ValueError("max_distortion must be non-negative")
+        algo = self.algorithm(algorithm)
+        if isinstance(source, Histogram):
+            grayscale = source.to_image()
+        else:
+            grayscale = source.to_grayscale()
+        solution, _ = self._solve(algo, grayscale, max_distortion)
+        return solution
 
     def prime(self, image: Image, max_distortion: float,
               algorithm: str | CompensationAlgorithm | None = None) -> bool:

@@ -30,6 +30,11 @@ subcommands cover the common workflows:
     Start the concurrent serving layer (:mod:`repro.serve`): warm up the
     solution cache on the benchmark corpus, run a request workload through
     the micro-batching worker pool, and print the live statistics snapshot.
+    With ``--port`` (and optionally ``--host``) it serves over TCP instead:
+    the asyncio :class:`~repro.serve.net.NetworkServer` speaks the wire
+    protocol of :mod:`repro.serve.protocol` until interrupted, and
+    :mod:`repro.client` (or ``repro loadtest --connect``) drives it from
+    another process.
 
 ``loadtest``
     Hammer a server with N concurrent clients on a duplicate-heavy
@@ -38,6 +43,9 @@ subcommands cover the common workflows:
     the report as JSON (the CI perf artifact).  ``--streams N`` switches to
     the video-client mode: N concurrent stream sessions each push a
     ``--frames``-frame clip through the server's session layer.
+    ``--connect HOST:PORT`` drives a *remote* ``repro serve --port`` server
+    instead of an in-process one: every client thread gets its own TCP
+    connection through :class:`repro.client.RemoteServerAdapter`.
 
 ``benchmarks``
     List the built-in synthetic benchmark images with their statistics.
@@ -298,6 +306,8 @@ def _print_server_stats(stats) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.port is not None:
+        return _cmd_serve_network(args)
     server = _build_server(args)
     with server:
         if args.warmup:
@@ -312,6 +322,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _print(f"served {len(results)} requests "
                f"({reused} reused a cached/shared solution)")
         _print_server_stats(server.stats())
+    return 0
+
+
+def _cmd_serve_network(args: argparse.Namespace) -> int:
+    """The ``repro serve --port`` mode: serve the wire protocol over TCP
+    until interrupted, then print the statistics snapshot."""
+    # deferred import: keep `repro --help` fast and serve-free paths lean
+    from repro.serve.net import NetworkServer
+
+    server = _build_server(args)
+    if args.warmup:
+        primed = server.warmup(budgets=(args.budget,),
+                               algorithm=args.algorithm)
+        _print(f"warm-up: {primed} solutions pre-solved into the cache")
+    net = NetworkServer(server, host=args.host, port=args.port)
+
+    def ready() -> None:
+        host, port = net.address
+        # a parseable, flushed readiness line: scripts (and the CI smoke
+        # test) wait for it before connecting
+        _print(f"serving on {host}:{port} (protocol v1); Ctrl-C to stop")
+        sys.stdout.flush()
+
+    try:
+        net.run(ready=ready)
+    except KeyboardInterrupt:
+        _print("interrupted; draining and shutting down")
+    finally:
+        net.close(wait=True)
+    _print_server_stats(server.stats())
     return 0
 
 
@@ -351,19 +391,32 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         serial_seconds, _ = time_baseline(baseline_engine, workload,
                                           args.budget,
                                           algorithm=args.algorithm)
-    server = _build_server(args)
-    with server:
-        if args.warmup:
-            server.warmup(budgets=(args.budget,), algorithm=args.algorithm)
+    def hammer(server_like):
         if stream_mode:
-            report = run_stream_load(server, workload, args.budget,
+            report = run_stream_load(server_like, workload, args.budget,
                                      algorithm=args.algorithm)
-            table = stream_report_table(report,
-                                        serial_seconds=serial_seconds)
-        else:
-            report = run_load(server, workload, args.budget,
-                              clients=args.clients, algorithm=args.algorithm)
-            table = report_table(report, serial_seconds=serial_seconds)
+            return report, stream_report_table(report,
+                                               serial_seconds=serial_seconds)
+        report = run_load(server_like, workload, args.budget,
+                          clients=args.clients, algorithm=args.algorithm)
+        return report, report_table(report, serial_seconds=serial_seconds)
+
+    if args.connect:
+        # deferred import: the client SDK is only needed for remote runs
+        from repro.client import RemoteServerAdapter
+
+        if args.warmup:
+            _print("note: --connect targets a remote server; warm-up is the "
+                   "server's own (see `repro serve --port`)")
+        with RemoteServerAdapter(args.connect) as remote:
+            report, table = hammer(remote)
+    else:
+        server = _build_server(args)
+        with server:
+            if args.warmup:
+                server.warmup(budgets=(args.budget,),
+                              algorithm=args.algorithm)
+            report, table = hammer(server)
     _print(table.render())
     if args.json:
         import json
@@ -491,7 +544,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve", parents=[serving_options],
-        help="run the concurrent serving layer over a request workload")
+        help="run the concurrent serving layer over a request workload, "
+             "or over TCP with --port")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --port mode "
+                            "(default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="serve the wire protocol on this TCP port "
+                            "(0 picks a free one) until interrupted, "
+                            "instead of running the in-process demo "
+                            "workload")
     serve.set_defaults(func=_cmd_serve)
 
     loadtest = subparsers.add_parser(
@@ -512,6 +574,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--json",
                           help="write the report to this JSON file (the CI "
                                "perf artifact format)")
+    loadtest.add_argument("--connect", metavar="HOST:PORT",
+                          help="drive a remote `repro serve --port` server "
+                               "over TCP instead of an in-process one "
+                               "(one connection per client thread)")
     loadtest.set_defaults(func=_cmd_loadtest)
 
     benchmarks = subparsers.add_parser(

@@ -1,0 +1,64 @@
+"""Client SDK for the network serving API.
+
+The remote counterpart of the :class:`~repro.api.engine.Engine` facade,
+speaking the wire protocol of :mod:`repro.serve.protocol` to a
+:class:`~repro.serve.net.NetworkServer` (``repro serve --host --port``):
+
+:class:`Client` (sync) / :class:`AsyncClient` (asyncio)
+    ``solve`` — ship a 256-bin histogram + budget, get back the
+    image-independent :class:`~repro.api.types.CompensationSolution`
+    (O(histogram) bandwidth, the paper's Fig. 4 fast path);
+    ``compensate`` — solve remotely, apply the LUT locally (pixels never
+    leave the process; for the histogram-driven techniques the output is
+    bit-identical to a server-side apply);
+    ``process`` — ship the full image for server-side application and
+    distortion/power accounting;
+    ``open_session`` — a push-based :class:`RemoteSession` /
+    :class:`AsyncRemoteSession` matching the
+    :class:`~repro.api.session.StreamSession` surface;
+    ``stats`` — the server's live statistics snapshot.
+
+    Lost connections reconnect with exponential back-off; a typed
+    ``overloaded`` error honors the server's ``retry_after`` hint.  Error
+    frames raise the same exception types as in-process calls
+    (:class:`~repro.serve.coalescer.ServerOverloadedError` with its
+    structured fields, :class:`~repro.serve.coalescer.ServerClosedError`,
+    :class:`~repro.api.session.SessionClosedError`).
+
+:class:`RemoteServerAdapter`
+    Drives the :mod:`repro.serve.loadgen` load generators (and ``repro
+    loadtest --connect HOST:PORT``) against a remote server: one
+    connection per load thread, the in-process ``Server`` surface on top.
+
+Quickstart::
+
+    from repro.client import Client
+
+    with Client(host="127.0.0.1", port=7095) as client:
+        applied = client.compensate(image, max_distortion=10.0)
+        panel.show(applied.output, backlight=applied.backlight_factor)
+
+        with client.open_session(max_distortion=10.0) as session:
+            outcome = session.submit(frame)     # a StreamFrameResult
+
+``examples/remote_client.py`` walks through the full surface.
+"""
+
+from repro.client.adapter import RemoteServerAdapter
+from repro.client.aio import AsyncClient, AsyncRemoteSession
+from repro.client.sync import (
+    Client,
+    LocalCompensation,
+    RemoteSession,
+    parse_address,
+)
+
+__all__ = [
+    "Client",
+    "AsyncClient",
+    "RemoteSession",
+    "AsyncRemoteSession",
+    "LocalCompensation",
+    "RemoteServerAdapter",
+    "parse_address",
+]

@@ -1,0 +1,157 @@
+"""Drive a remote server through the in-process ``Server`` surface.
+
+The load generators of :mod:`repro.serve.loadgen` are duck-typed over a
+small server surface — ``submit(image, budget, algorithm=...) -> Future``,
+``open_session(...) -> handle``, ``stats() -> ServerStats`` —  so pointing
+them at a *remote* server only takes an adapter that speaks that surface
+over the wire.  :class:`RemoteServerAdapter` is that adapter, and what
+``repro loadtest --connect HOST:PORT`` builds: each loadgen client thread
+gets its own TCP connection (a thread-local
+:class:`~repro.client.sync.Client`), so N concurrent load threads exercise
+N concurrent connections, and the server coalesces across all of them.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Any
+
+from repro.imaging.image import Image
+from repro.serve.stats import ServerStats
+from repro.client.sync import Client, RemoteSession, parse_address
+
+__all__ = ["RemoteServerAdapter"]
+
+
+class _RemoteSessionHandle:
+    """Wraps a :class:`~repro.client.sync.RemoteSession` behind the
+    future-returning :class:`~repro.serve.server.ServerSession` surface the
+    stream load generator drives."""
+
+    def __init__(self, session: RemoteSession) -> None:
+        self._session = session
+
+    @property
+    def id(self) -> str:
+        return self._session.id
+
+    def submit(self, frame: Image) -> Future:
+        """Feed one frame; the RPC runs synchronously and the returned
+        future is already settled (the load generator awaits it anyway)."""
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(self._session.submit(frame))
+        except BaseException as exc:   # noqa: BLE001 - surfaced via future
+            future.set_exception(exc)
+        return future
+
+    def close(self) -> None:
+        self._session.close()
+
+    def __enter__(self) -> "_RemoteSessionHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RemoteServerAdapter:
+    """A :class:`~repro.serve.server.Server` look-alike backed by RPCs.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` of the remote :class:`~repro.serve.net.NetworkServer`.
+    client_options:
+        Forwarded to every per-thread :class:`~repro.client.sync.Client`
+        (``timeout=``, ``retries=``, ``retry_overloaded=``, ...).
+
+    Notes
+    -----
+    Each calling thread lazily gets its own connection; :meth:`close`
+    drops them all.  ``submit`` runs the RPC synchronously and returns an
+    already-settled future — latency measured around
+    ``submit(...).result()`` (the loadgen convention) therefore covers the
+    full network round trip.
+    """
+
+    def __init__(self, address: str, **client_options: Any) -> None:
+        self.host, self.port = parse_address(address)
+        self._client_options = dict(client_options)
+        self._client_options.setdefault("timeout", 60.0)
+        self._local = threading.local()
+        self._clients: list[Client] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # the loadgen-facing Server surface
+    # ------------------------------------------------------------------ #
+    def submit(self, image: Image, max_distortion: float,
+               algorithm: str | None = None,
+               timeout: float | None = None) -> Future:
+        """One remote ``process`` request as an already-settled future
+        (``timeout`` is accepted for surface compatibility; the client's
+        socket timeout bounds the RPC)."""
+        del timeout
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(self._client().process(
+                image, max_distortion, algorithm=algorithm))
+        except BaseException as exc:   # noqa: BLE001 - surfaced via future
+            future.set_exception(exc)
+        return future
+
+    def open_session(self, max_distortion: float,
+                     algorithm: str | None = None,
+                     **options: Any) -> _RemoteSessionHandle:
+        """Open a remote stream session for this thread's connection.
+        ``options`` must be JSON-representable (stateful smoother /
+        detector objects cannot cross the wire)."""
+        session = self._client().open_session(max_distortion,
+                                              algorithm=algorithm, **options)
+        return _RemoteSessionHandle(session)
+
+    def stats(self) -> ServerStats:
+        """The remote server's statistics snapshot (via the ``stats``
+        RPC)."""
+        return self._client().stats()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close every per-thread connection opened so far (idempotent)."""
+        with self._lock:
+            self._closed = True
+            clients, self._clients = self._clients, []
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "RemoteServerAdapter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _client(self) -> Client:
+        if self._closed:
+            # also fences threads with a cached (now-closed) client, which
+            # would otherwise lazily reconnect on an untracked socket
+            raise RuntimeError("the remote server adapter is closed")
+        client = getattr(self._local, "client", None)
+        if client is None:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("the remote server adapter is closed")
+                client = Client(host=self.host, port=self.port,
+                                **self._client_options)
+                self._clients.append(client)
+            self._local.client = client
+        return client

@@ -1,0 +1,287 @@
+"""Asyncio client for the network serving API.
+
+:class:`AsyncClient` is the event-loop counterpart of
+:class:`repro.client.sync.Client`: the same Engine-facade mirror
+(``solve`` / ``compensate`` / ``process`` / ``open_session`` / ``stats``),
+the same typed exceptions, the same reconnect-with-backoff and
+retry-after honoring — with every call awaitable, so one event loop can
+drive many concurrent clients (each with its own connection).
+
+Requests on one :class:`AsyncClient` are serialized by an internal lock
+(one in-flight request per connection keeps the response correlation
+trivial); open several clients for concurrency, as
+``examples/remote_client.py`` shows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Mapping
+
+from repro.api.types import (
+    CompensationResult,
+    CompensationSolution,
+    StreamFrameResult,
+)
+from repro.api.session import SessionClosedError
+from repro.core.histogram import Histogram
+from repro.imaging.image import Image
+from repro.serve import protocol
+from repro.serve.coalescer import ServerOverloadedError
+from repro.serve.net import DEFAULT_PORT
+from repro.serve.stats import ServerStats
+from repro.client.sync import LocalCompensation, parse_address
+
+__all__ = ["AsyncClient", "AsyncRemoteSession"]
+
+
+class AsyncRemoteSession:
+    """Asyncio counterpart of :class:`repro.client.sync.RemoteSession`:
+    the push-based stream surface with ``await``-able frame submission.
+    Use ``async with`` for deterministic close."""
+
+    def __init__(self, client: "AsyncClient", session_id: str,
+                 max_distortion: float) -> None:
+        self._client = client
+        self._id = session_id
+        self._max_distortion = float(max_distortion)
+        self._closed = False
+
+    @property
+    def id(self) -> str:
+        return self._id
+
+    @property
+    def max_distortion(self) -> float:
+        return self._max_distortion
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def submit(self, frame: Image) -> StreamFrameResult:
+        """Push one frame; resolves to its
+        :class:`~repro.api.types.StreamFrameResult`."""
+        if self._closed:
+            raise SessionClosedError(
+                f"remote session {self._id} has been closed")
+        response = await self._client._request(
+            lambda request_id: protocol.feed_request(request_id, self._id,
+                                                     frame),
+            expected="frame", reconnect=False)
+        return protocol.stream_frame_from_wire(response["outcome"])
+
+    async def close(self) -> None:
+        """Close the remote session (idempotent, best-effort on a dead
+        connection)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            await self._client._request(
+                lambda request_id: protocol.close_session_request(
+                    request_id, self._id),
+                expected="session_closed", reconnect=False)
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncRemoteSession":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+
+class AsyncClient:
+    """Asyncio client for a :class:`~repro.serve.net.NetworkServer`.
+
+    Same parameters and retry policy as
+    :class:`repro.client.sync.Client`; every RPC is a coroutine.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+                 timeout: float = 60.0, retries: int = 3,
+                 backoff: float = 0.1, max_backoff: float = 2.0,
+                 retry_overloaded: bool = True) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self.retry_overloaded = bool(retry_overloaded)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+
+    @classmethod
+    def at(cls, address: str, **options) -> "AsyncClient":
+        """Build a client from a ``"host:port"`` string."""
+        host, port = parse_address(address)
+        return cls(host=host, port=port, **options)
+
+    # ------------------------------------------------------------------ #
+    # the Engine-facade mirror
+    # ------------------------------------------------------------------ #
+    async def solve(self, source: Image | Histogram, max_distortion: float,
+                    algorithm: str | None = None) -> CompensationSolution:
+        """Histogram-only solve (see
+        :meth:`Client.solve <repro.client.sync.Client.solve>`)."""
+        response = await self._request(
+            lambda request_id: protocol.solve_request(
+                request_id, source, max_distortion, algorithm=algorithm),
+            expected="solution")
+        return protocol.solution_from_wire(response["solution"])
+
+    async def compensate(self, image: Image, max_distortion: float,
+                         algorithm: str | None = None) -> LocalCompensation:
+        """Remote histogram-only solve + local LUT application (see
+        :meth:`Client.compensate <repro.client.sync.Client.compensate>`)."""
+        grayscale = image.to_grayscale()
+        solution = await self.solve(Histogram.of_image(grayscale),
+                                    max_distortion, algorithm=algorithm)
+        return LocalCompensation(solution=solution, original=grayscale,
+                                 output=solution.transform.apply(grayscale))
+
+    async def process(self, image: Image, max_distortion: float,
+                      algorithm: str | None = None) -> CompensationResult:
+        """Full-image request (see
+        :meth:`Client.process <repro.client.sync.Client.process>`)."""
+        response = await self._request(
+            lambda request_id: protocol.process_request(
+                request_id, image, max_distortion, algorithm=algorithm),
+            expected="result")
+        return protocol.result_from_wire(response["result"])
+
+    async def open_session(self, max_distortion: float,
+                           algorithm: str | None = None,
+                           **options: Any) -> AsyncRemoteSession:
+        """Open a push-based stream session on the server."""
+        response = await self._request(
+            lambda request_id: protocol.open_session_request(
+                request_id, max_distortion, algorithm=algorithm,
+                options=options),
+            expected="session")
+        return AsyncRemoteSession(self, str(response["session_id"]),
+                                  float(max_distortion))
+
+    async def stats(self) -> ServerStats:
+        """The server's live statistics snapshot."""
+        response = await self._request(protocol.stats_request,
+                                       expected="stats")
+        return protocol.server_stats_from_wire(response["stats"])
+
+    async def stats_dict(self) -> Mapping[str, Any]:
+        """The raw JSON payload of the ``stats`` RPC."""
+        response = await self._request(protocol.stats_request,
+                                       expected="stats")
+        return response["stats"]
+
+    # ------------------------------------------------------------------ #
+    # connection plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def connect(self) -> None:
+        """Connect and handshake now (otherwise done lazily)."""
+        if self._writer is not None:
+            return
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout)
+        try:
+            writer.write(protocol.encode_frame(protocol.hello_frame()))
+            await writer.drain()
+            hello = await asyncio.wait_for(self._read_frame(reader),
+                                           self.timeout)
+            if hello.get("type") == "error":
+                raise protocol.exception_from_error(hello)
+            if (hello.get("type") != "hello"
+                    or hello.get("version") != protocol.PROTOCOL_VERSION):
+                raise protocol.ProtocolError(
+                    f"server answered the handshake with "
+                    f"{hello.get('type')!r} v{hello.get('version')!r}")
+        except BaseException:
+            writer.close()
+            raise
+        self._reader, self._writer = reader, writer
+
+    async def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    async def _read_frame(self, reader: asyncio.StreamReader) -> dict:
+        header = await reader.readexactly(protocol.HEADER_BYTES)
+        payload = await reader.readexactly(protocol.frame_length(header))
+        return protocol.decode_frame(payload)
+
+    async def _request(self, build, expected: str,
+                       reconnect: bool = True) -> dict:
+        """One serialized request/response round trip (same retry policy
+        as the sync client)."""
+        async with self._lock:
+            attempt = 0
+            while True:
+                self._next_id += 1
+                message = build(self._next_id)
+                try:
+                    await self.connect()
+                    assert self._writer is not None and self._reader is not None
+                    self._writer.write(protocol.encode_frame(message))
+                    await self._writer.drain()
+                    response = await asyncio.wait_for(
+                        self._read_frame(self._reader), self.timeout)
+                except (ConnectionError, OSError, EOFError,
+                        asyncio.IncompleteReadError,
+                        asyncio.TimeoutError) as exc:
+                    await self.close()
+                    if not reconnect or attempt >= self.retries:
+                        raise ConnectionError(
+                            f"lost connection to {self.host}:{self.port} "
+                            f"({exc!r})") from exc
+                    await asyncio.sleep(min(self.backoff * (2 ** attempt),
+                                            self.max_backoff))
+                    attempt += 1
+                    continue
+                if response.get("type") == "error":
+                    error = protocol.exception_from_error(response)
+                    if (isinstance(error, ServerOverloadedError)
+                            and self.retry_overloaded
+                            and attempt < self.retries):
+                        delay = error.retry_after_seconds
+                        if delay is None:
+                            delay = self.backoff
+                        await asyncio.sleep(min(delay, self.max_backoff))
+                        attempt += 1
+                        continue
+                    raise error
+                if response.get("id") != message["id"]:
+                    await self.close()
+                    raise protocol.ProtocolError(
+                        f"response id {response.get('id')!r} does not match "
+                        f"request id {message['id']!r}")
+                if response.get("type") != expected:
+                    raise protocol.ProtocolError(
+                        f"expected a {expected!r} response, got "
+                        f"{response.get('type')!r}")
+                return response

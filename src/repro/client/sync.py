@@ -1,0 +1,419 @@
+"""Blocking TCP client for the network serving API.
+
+:class:`Client` mirrors the :class:`~repro.api.engine.Engine` facade over a
+socket: :meth:`Client.solve` ships a histogram and gets back an
+image-independent solution (the paper-native fast path — O(histogram)
+bandwidth), :meth:`Client.process` ships a full image for server-side
+application and accounting, and :meth:`Client.open_session` opens a
+push-based :class:`RemoteSession` matching the
+:class:`~repro.api.session.StreamSession` surface.
+
+Connection care is built in: the client connects lazily, performs the
+protocol handshake, and on a lost connection reconnects with exponential
+back-off and retries the (idempotent) request.  A typed ``overloaded``
+error honors the server's ``retry_after`` hint before retrying; the other
+error frames raise the same exception types in-process callers see
+(:class:`~repro.serve.coalescer.ServerOverloadedError`,
+:class:`~repro.serve.coalescer.ServerClosedError`,
+:class:`~repro.api.session.SessionClosedError`, :class:`ValueError`).
+
+A :class:`Client` is **not** thread-safe — it serializes one request at a
+time on one socket.  Use one client per thread (see
+:class:`repro.client.adapter.RemoteServerAdapter`) or the asyncio
+:class:`~repro.client.aio.AsyncClient`.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.api.types import (
+    CompensationResult,
+    CompensationSolution,
+    StreamFrameResult,
+)
+from repro.api.session import SessionClosedError
+from repro.core.histogram import Histogram
+from repro.core.transforms import PixelTransform
+from repro.imaging.image import Image
+from repro.serve import protocol
+from repro.serve.coalescer import ServerOverloadedError
+from repro.serve.net import DEFAULT_PORT
+from repro.serve.stats import ServerStats
+
+__all__ = ["Client", "RemoteSession", "LocalCompensation", "parse_address"]
+
+
+def parse_address(address: str, default_port: int = DEFAULT_PORT,
+                  ) -> tuple[str, int]:
+    """Split ``"host:port"`` (or bare ``"host"``) into ``(host, port)``.
+
+    IPv6 literals use the usual bracket form when they carry a port
+    (``"[::1]:7095"``); a bare multi-colon literal (``"::1"``) is taken as
+    a host with the default port.
+    """
+    text = address.strip()
+    if not text:
+        raise ValueError("address must not be empty")
+    if text.startswith("["):
+        host, bracket, rest = text[1:].partition("]")
+        if not bracket or not host:
+            raise ValueError(f"unclosed IPv6 bracket in address {address!r}")
+        if not rest:
+            return host, default_port
+        if not rest.startswith(":"):
+            raise ValueError(f"malformed address {address!r}")
+        return host, _parse_port(rest[1:], address)
+    if text.count(":") == 1:
+        host, _, port_text = text.partition(":")
+        return host or "127.0.0.1", _parse_port(port_text, address)
+    # zero colons: bare hostname; several: a bare IPv6 literal, no port
+    return text, default_port
+
+
+def _parse_port(port_text: str, address: str) -> int:
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in address {address!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in address {address!r}")
+    return port
+
+
+@dataclass(frozen=True)
+class LocalCompensation:
+    """Outcome of :meth:`Client.compensate`: a remote histogram-only solve
+    replayed onto the local pixels.
+
+    Only the histogram crossed the wire; ``output`` was produced locally by
+    applying the solution's LUT.  For the histogram-driven techniques
+    (``hebs``, the DLS variants, ``cbcs``) it is bit-identical to what the
+    server would have produced from the full image; for ``hebs-adaptive``
+    the server-side bisection measured distortion on a histogram-realizing
+    stand-in, so its operating point approximates (rather than reproduces)
+    a full-image solve — see :meth:`Engine.solve
+    <repro.api.engine.Engine.solve>`.
+    """
+
+    solution: CompensationSolution
+    original: Image
+    output: Image
+
+    @property
+    def backlight_factor(self) -> float:
+        """The dimming factor ``beta`` to program."""
+        return self.solution.backlight_factor
+
+    @property
+    def transform(self) -> PixelTransform:
+        """The pixel transformation that produced ``output``."""
+        return self.solution.transform
+
+
+class RemoteSession:
+    """A server-side stream session driven over one client connection.
+
+    Matches the push-based :class:`~repro.api.session.StreamSession`
+    surface: :meth:`submit` takes one frame and returns its
+    :class:`~repro.api.types.StreamFrameResult`; sessions are context
+    managers and :meth:`close` is idempotent.  The temporal state
+    (smoother, scene detector, fast path) lives server-side; per-session
+    frame order is the submission order on this connection.
+
+    A lost connection cannot be resumed — session state dies with the
+    socket (the server closes it on disconnect), so session requests never
+    auto-reconnect: they raise :class:`ConnectionError` instead.
+    """
+
+    def __init__(self, client: "Client", session_id: str,
+                 max_distortion: float) -> None:
+        self._client = client
+        self._id = session_id
+        self._max_distortion = float(max_distortion)
+        self._closed = False
+
+    @property
+    def id(self) -> str:
+        """The server-assigned session identifier (the stats key)."""
+        return self._id
+
+    @property
+    def max_distortion(self) -> float:
+        return self._max_distortion
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, frame: Image) -> StreamFrameResult:
+        """Push one frame through the remote session and return its
+        outcome.  Raises
+        :class:`~repro.api.session.SessionClosedError` after :meth:`close`
+        and :class:`~repro.serve.coalescer.ServerOverloadedError` when the
+        session's server-side frame queue is full (honoring ``retry_after``
+        when the client retries overloads)."""
+        if self._closed:
+            raise SessionClosedError(
+                f"remote session {self._id} has been closed")
+        response = self._client._request(
+            lambda request_id: protocol.feed_request(request_id, self._id,
+                                                     frame),
+            expected="frame", reconnect=False)
+        return protocol.stream_frame_from_wire(response["outcome"])
+
+    def close(self) -> None:
+        """Close the remote session (idempotent, best-effort on a dead
+        connection — the server also closes it on disconnect)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._client._request(
+                lambda request_id: protocol.close_session_request(
+                    request_id, self._id),
+                expected="session_closed", reconnect=False)
+        except (ConnectionError, OSError):
+            pass    # the disconnect already closed it server-side
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class Client:
+    """Synchronous client for a :class:`~repro.serve.net.NetworkServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address (see also :func:`parse_address` /
+        :meth:`Client.at`).
+    timeout:
+        Socket timeout per send/receive, in seconds.  Bounds how long one
+        RPC may take end to end.
+    retries:
+        How many times a failed attempt is retried — after a connection
+        error (with exponential back-off) or an ``overloaded`` error frame
+        (honoring the server's ``retry_after`` hint).  ``0`` disables
+        retrying.
+    backoff, max_backoff:
+        Reconnect back-off: attempt ``n`` sleeps
+        ``min(backoff * 2**n, max_backoff)`` seconds.
+    retry_overloaded:
+        Whether an ``overloaded`` error frame is retried after its
+        ``retry_after`` hint (up to ``retries`` attempts) instead of
+        raising immediately.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
+                 timeout: float = 60.0, retries: int = 3,
+                 backoff: float = 0.1, max_backoff: float = 2.0,
+                 retry_overloaded: bool = True) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self.retry_overloaded = bool(retry_overloaded)
+        self._sock: socket.socket | None = None
+        self._next_id = 0
+
+    @classmethod
+    def at(cls, address: str, **options) -> "Client":
+        """Build a client from a ``"host:port"`` string."""
+        host, port = parse_address(address)
+        return cls(host=host, port=port, **options)
+
+    # ------------------------------------------------------------------ #
+    # the Engine-facade mirror
+    # ------------------------------------------------------------------ #
+    def solve(self, source: Image | Histogram, max_distortion: float,
+              algorithm: str | None = None) -> CompensationSolution:
+        """Histogram-only solve: ship O(histogram) bytes, get back the
+        image-independent solution (transformation, backlight factor,
+        driver program) to apply locally.  Mirrors
+        :meth:`Engine.solve <repro.api.engine.Engine.solve>`."""
+        response = self._request(
+            lambda request_id: protocol.solve_request(
+                request_id, source, max_distortion, algorithm=algorithm),
+            expected="solution")
+        return protocol.solution_from_wire(response["solution"])
+
+    def compensate(self, image: Image, max_distortion: float,
+                   algorithm: str | None = None) -> LocalCompensation:
+        """Solve remotely on the image's histogram, apply locally.
+
+        The end-to-end fast path of the paper's Fig. 4 across a network:
+        the pixels never leave this process, and for the histogram-driven
+        techniques (``hebs``, DLS, ``cbcs``) the locally produced output is
+        bit-identical to a server-side :meth:`process <Client.process>` of
+        the same image (``hebs-adaptive`` approximates its per-image
+        bisection — see :class:`LocalCompensation`).
+        """
+        grayscale = image.to_grayscale()
+        solution = self.solve(Histogram.of_image(grayscale), max_distortion,
+                              algorithm=algorithm)
+        return LocalCompensation(solution=solution, original=grayscale,
+                                 output=solution.transform.apply(grayscale))
+
+    def process(self, image: Image, max_distortion: float,
+                algorithm: str | None = None) -> CompensationResult:
+        """Full-image request: the server applies the solution and accounts
+        distortion and power.  Mirrors
+        :meth:`Engine.process <repro.api.engine.Engine.process>`."""
+        response = self._request(
+            lambda request_id: protocol.process_request(
+                request_id, image, max_distortion, algorithm=algorithm),
+            expected="result")
+        return protocol.result_from_wire(response["result"])
+
+    def open_session(self, max_distortion: float,
+                     algorithm: str | None = None,
+                     **options: Any) -> RemoteSession:
+        """Open a push-based stream session on the server.  ``options``
+        are the JSON-representable keyword options of
+        :meth:`Engine.open_session <repro.api.engine.Engine.open_session>`
+        (``scene_gated_solve=``, ``snap_on_scene_change=``,
+        ``stability_bins=``, ...)."""
+        response = self._request(
+            lambda request_id: protocol.open_session_request(
+                request_id, max_distortion, algorithm=algorithm,
+                options=options),
+            expected="session")
+        return RemoteSession(self, str(response["session_id"]),
+                             float(max_distortion))
+
+    def stats(self) -> ServerStats:
+        """The server's live statistics snapshot."""
+        response = self._request(protocol.stats_request, expected="stats")
+        return protocol.server_stats_from_wire(response["stats"])
+
+    def stats_dict(self) -> Mapping[str, Any]:
+        """The raw JSON payload of the ``stats`` RPC (the server's
+        ``as_dict`` view, latencies in ms)."""
+        response = self._request(protocol.stats_request, expected="stats")
+        return response["stats"]
+
+    # ------------------------------------------------------------------ #
+    # connection plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def connected(self) -> bool:
+        """Whether a handshaken socket is currently held."""
+        return self._sock is not None
+
+    def connect(self) -> None:
+        """Connect and handshake now (otherwise done lazily)."""
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        try:
+            sock.sendall(protocol.encode_frame(protocol.hello_frame()))
+            hello = self._recv_frame(sock)
+            if hello.get("type") == "error":
+                raise protocol.exception_from_error(hello)
+            if (hello.get("type") != "hello"
+                    or hello.get("version") != protocol.PROTOCOL_VERSION):
+                raise protocol.ProtocolError(
+                    f"server answered the handshake with "
+                    f"{hello.get('type')!r} v{hello.get('version')!r}")
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+
+    def close(self) -> None:
+        """Drop the connection (idempotent); the server closes any
+        sessions this connection owned."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "Client":
+        self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _recv_exactly(self, sock: socket.socket, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining > 0:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("the server closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _recv_frame(self, sock: socket.socket) -> dict:
+        header = self._recv_exactly(sock, protocol.HEADER_BYTES)
+        payload = self._recv_exactly(sock, protocol.frame_length(header))
+        return protocol.decode_frame(payload)
+
+    def _request(self, build, expected: str, reconnect: bool = True) -> dict:
+        """One request/response round trip with the retry policy.
+
+        ``build`` is called with a fresh request id for every attempt (so a
+        retried request is distinguishable server-side).  ``reconnect``
+        disables the reconnect-and-retry path for requests that are not
+        safe to replay on a new connection (session traffic — the state
+        died with the old socket).
+        """
+        attempt = 0
+        while True:
+            self._next_id += 1
+            message = build(self._next_id)
+            try:
+                self.connect()
+                assert self._sock is not None
+                self._sock.sendall(protocol.encode_frame(message))
+                response = self._recv_frame(self._sock)
+            except (ConnectionError, OSError, EOFError) as exc:
+                self.close()
+                if not reconnect or attempt >= self.retries:
+                    raise ConnectionError(
+                        f"lost connection to {self.host}:{self.port} "
+                        f"({exc})") from exc
+                time.sleep(min(self.backoff * (2 ** attempt),
+                               self.max_backoff))
+                attempt += 1
+                continue
+            if response.get("type") == "error":
+                error = protocol.exception_from_error(response)
+                if (isinstance(error, ServerOverloadedError)
+                        and self.retry_overloaded
+                        and attempt < self.retries):
+                    delay = error.retry_after_seconds
+                    if delay is None:
+                        delay = self.backoff
+                    time.sleep(min(delay, self.max_backoff))
+                    attempt += 1
+                    continue
+                raise error
+            if response.get("id") != message["id"]:
+                self.close()    # the stream is desynchronized; start clean
+                raise protocol.ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {message['id']!r}")
+            if response.get("type") != expected:
+                raise protocol.ProtocolError(
+                    f"expected a {expected!r} response, got "
+                    f"{response.get('type')!r}")
+            return response

@@ -142,6 +142,34 @@ class Histogram:
         """The cumulative histogram ``H(x) = sum_{k <= x} h(k)``."""
         return CumulativeHistogram(np.cumsum(self.counts))
 
+    def to_image(self, name: str = "") -> Image:
+        """A canonical image realizing this histogram exactly.
+
+        The pixels are every occupied level repeated ``counts[level]`` times
+        in increasing order, reshaped to the squarest ``(H, W)`` whose area
+        is the exact pixel count, so ``Histogram.of_image(h.to_image()) ==
+        h`` bitwise.  This is the bridge from the paper's histogram-only
+        real-time flow (Fig. 4) back to the per-image algorithm surface: a
+        client that only shipped a histogram (see
+        :meth:`repro.api.engine.Engine.solve` and the ``solve`` RPC of
+        :mod:`repro.serve.protocol`) can still be served by techniques whose
+        entry point takes an :class:`~repro.imaging.image.Image`, because
+        everything they derive from it is a histogram statistic.  (The
+        square-ish shape keeps windowed measures — which some techniques
+        consult *during* their policy search — applicable; a pixel count
+        with no useful divisor degrades to a single row.)
+
+        The bit depth is the smallest one covering ``levels`` (8 for the
+        usual 256-level histograms).
+        """
+        bit_depth = max(1, (self.levels - 1).bit_length())
+        pixels = np.repeat(np.arange(self.levels, dtype=np.uint16),
+                           self.counts)
+        n = pixels.size
+        height = next(d for d in range(int(np.sqrt(n)), 0, -1) if n % d == 0)
+        return Image(pixels.reshape(height, n // height),
+                     bit_depth=bit_depth, name=name)
+
     def l1_distance(self, other: "Histogram") -> float:
         """Normalized L1 distance between two histograms, in ``[0, 1]``."""
         if self.levels != other.levels:

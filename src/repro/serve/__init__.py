@@ -26,7 +26,19 @@ turns the (thread-safe) :class:`~repro.api.engine.Engine` into a service:
     :func:`run_load` / :class:`LoadReport` — the multi-client one-shot load
     generator — and the video-client mode: :func:`run_stream_load` /
     :class:`StreamLoadReport` drive N concurrent sessions frame by frame.
-    Both behind ``repro loadtest`` and the examples.
+    Both behind ``repro loadtest`` and the examples.  Both are duck-typed
+    over the server surface, so ``repro loadtest --connect HOST:PORT``
+    points them at a remote server through
+    :class:`repro.client.RemoteServerAdapter`.
+:mod:`repro.serve.protocol`
+    The wire codec and message set of the network serving API: versioned
+    length-prefixed JSON frames, bit-exact ``to_wire``/``from_wire`` for
+    histograms, images, transforms, solutions and results, and the typed
+    error frames that carry backpressure hints across the network hop.
+:mod:`repro.serve.net`
+    :class:`NetworkServer` — the asyncio TCP front end multiplexing many
+    connections onto the shared micro-batch ticks (``repro serve --host
+    --port``); :mod:`repro.client` is the SDK on the other end.
 
 Quickstart::
 
@@ -56,15 +68,23 @@ from repro.serve.loadgen import (
     time_serial_baseline,
     time_serial_stream_baseline,
 )
+from repro.serve.net import DEFAULT_PORT, NetworkServer
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import Server, ServerSession, SessionManager
 from repro.serve.stats import (
     ServerStats,
     SessionFrameStats,
     StatsRecorder,
+    json_ready,
     percentile,
 )
 
 __all__ = [
+    "NetworkServer",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "json_ready",
     "Server",
     "ServerSession",
     "SessionManager",

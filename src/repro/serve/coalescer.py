@@ -56,7 +56,32 @@ __all__ = [
 
 
 class ServerOverloadedError(RuntimeError):
-    """The bounded request queue stayed full past the submit timeout."""
+    """A bounded queue (requests, session frames or the session table)
+    stayed full past the submit timeout.
+
+    Beyond the message the error carries structured backpressure hints, so
+    in-process callers and the wire protocol
+    (:func:`repro.serve.protocol.error_response`) can tell clients *how*
+    overloaded the server is and when a retry is worth attempting:
+
+    Attributes
+    ----------
+    queue_depth:
+        Occupancy of the queue that refused the submission (the pending
+        request queue, a session's frame queue, or the open-session table),
+        when known.
+    retry_after_seconds:
+        Suggested client back-off before retrying, when the raising
+        component can estimate one (e.g. a couple of batching windows for
+        the request queue).  ``None`` means "no estimate"; the protocol
+        layer substitutes its default hint.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int | None = None,
+                 retry_after_seconds: float | None = None) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.retry_after_seconds = retry_after_seconds
 
 
 class ServerClosedError(RuntimeError):
@@ -162,6 +187,13 @@ class RequestCoalescer:
         with self._cond:
             return self._closed
 
+    def retry_after_hint(self) -> float:
+        """Suggested client back-off when the pending queue refuses a
+        request: a couple of batching windows (one for the batch currently
+        forming, one for the wave that will claim the freed slots), floored
+        so sub-millisecond windows don't suggest a busy-wait."""
+        return max(2.0 * self.max_delay, 0.05)
+
     def submit(self, image: Image, max_distortion: float,
                algorithm: str | CompensationAlgorithm | None = None,
                timeout: float | None = 1.0) -> Future:
@@ -220,7 +252,9 @@ class RequestCoalescer:
                         self._recorder.note_rejected()
                     raise ServerOverloadedError(
                         f"request queue full ({self.max_pending} pending) "
-                        f"for longer than the {timeout:g}s submit timeout")
+                        f"for longer than the {timeout:g}s submit timeout",
+                        queue_depth=len(self._pending),
+                        retry_after_seconds=self.retry_after_hint())
                 self._cond.wait(remaining)
             if self._closed:
                 # count refusals at shutdown like backpressure rejections,

@@ -16,10 +16,18 @@ Two client shapes:
   The returned :class:`StreamLoadReport` adds per-session applied-backlight
   traces so callers can verify the flicker bound end to end.
 
+Both generators are duck-typed over the server surface they drive
+(``submit(image, budget, algorithm=...) -> Future``, ``open_session(...)``,
+``stats()``), so they also run against a **remote** server: pass a
+:class:`repro.client.RemoteServerAdapter` (one TCP connection per client
+thread) instead of a :class:`~repro.serve.server.Server` — which is exactly
+what ``repro loadtest --connect HOST:PORT`` does against a ``repro serve
+--port`` process.
+
 ``repro loadtest`` prints either report (optionally timing the serial
 baseline for a speedup figure) and can emit it as JSON for the CI perf
-trajectory; ``examples/serving_demo.py`` and
-``examples/stream_sessions.py`` walk through the same flows narratively.
+trajectory; ``examples/serving_demo.py``, ``examples/stream_sessions.py``
+and ``examples/remote_client.py`` walk through the same flows narratively.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from repro.analysis.reporting import Table
 from repro.api.types import CompensationResult, StreamFrameResult
 from repro.imaging.image import Image
 from repro.serve.server import Server
-from repro.serve.stats import ServerStats, percentile
+from repro.serve.stats import ServerStats, json_ready, percentile
 
 __all__ = [
     "LoadReport",
@@ -100,8 +108,9 @@ class LoadReport:
         return percentile(self.latencies, 99)
 
     def as_dict(self) -> Mapping[str, float | int]:
-        """A flat, JSON-ready view (latencies in ms)."""
-        return {
+        """A flat, JSON-ready view (latencies in ms) — guaranteed to
+        ``json.dumps`` round-trip (see :func:`repro.serve.stats.json_ready`)."""
+        return json_ready({
             "clients": self.clients,
             "requests": self.requests,
             "errors": self.errors,
@@ -112,7 +121,7 @@ class LoadReport:
             "latency_p99_ms": round(1e3 * self.latency_p99, 3),
             **{f"server_{key}": value
                for key, value in self.stats.as_dict().items()},
-        }
+        })
 
 
 def run_load(server: Server, images: Sequence[Image],
@@ -262,8 +271,10 @@ class StreamLoadReport:
                 if sid in self.traces}
 
     def as_dict(self) -> Mapping[str, float | int]:
-        """A flat, JSON-ready view (latencies in ms)."""
-        return {
+        """A flat, JSON-ready view (latencies in ms) — guaranteed to
+        ``json.dumps`` round-trip even though the backlight trace values
+        are numpy scalars (see :func:`repro.serve.stats.json_ready`)."""
+        return json_ready({
             "sessions": self.sessions,
             "frames": self.frames,
             "errors": self.errors,
@@ -275,7 +286,7 @@ class StreamLoadReport:
             "worst_backlight_step": round(self.worst_step(), 6),
             **{f"server_{key}": value
                for key, value in self.stats.as_dict().items()},
-        }
+        })
 
 
 def run_stream_load(server: Server, clips: Sequence[Sequence[Image]],

@@ -1,0 +1,349 @@
+"""Asyncio network front end: the serving stack behind a TCP socket.
+
+:class:`NetworkServer` puts the existing in-process machinery — the
+thread-safe :class:`~repro.api.engine.Engine`, the micro-batching
+:class:`~repro.serve.coalescer.RequestCoalescer` worker pool and the
+:class:`~repro.serve.server.SessionManager` — behind the wire protocol of
+:mod:`repro.serve.protocol`.  The division of labour is strict:
+
+* the **event loop** only frames/unframes JSON and shuttles bytes — it
+  never touches pixels;
+* **engine work** stays on threads: one-shot ``process`` requests and
+  session ``feed`` frames enter the shared
+  :class:`~repro.serve.server.Server` queue (so requests from *many
+  connections* coalesce into the same micro-batch ticks as in-process
+  traffic), while histogram-only ``solve`` requests and session opens run
+  on a small dedicated executor via ``run_in_executor`` (a warmed solve is
+  a cache lookup, far cheaper than a batch tick);
+* **backpressure survives the hop**: queue-refused work surfaces as a
+  typed ``overloaded`` error frame carrying the structured
+  ``retry_after`` / ``queue_depth`` hints of
+  :class:`~repro.serve.coalescer.ServerOverloadedError` — the connection
+  stays open, the client backs off;
+* **sessions are connection-owned**: a stream session opened over a
+  connection dies with it (close-on-disconnect), so a vanished client can
+  never pin the session table.
+
+``repro serve --host H --port P`` runs one from the command line;
+:mod:`repro.client` is the SDK on the other end.  For tests, benchmarks
+and examples the server also runs on a background thread::
+
+    net = NetworkServer(Server(engine=engine))
+    host, port = net.start()          # bound, accepting
+    ...
+    net.close()                       # drains and closes the wrapped Server
+
+The :class:`NetworkServer` owns the :class:`~repro.serve.server.Server` it
+wraps: :meth:`NetworkServer.close` closes it (and its engine workers) too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+from repro.api.session import SessionClosedError
+from repro.serve import protocol
+from repro.serve.server import Server, ServerSession
+
+__all__ = ["NetworkServer", "DEFAULT_PORT"]
+
+#: Default TCP port of ``repro serve --port`` and the client SDK.
+DEFAULT_PORT = 7095
+
+
+class NetworkServer:
+    """Serve a :class:`~repro.serve.server.Server` over asyncio TCP.
+
+    Parameters
+    ----------
+    server:
+        The in-process serving stack to expose; a fresh
+        :class:`~repro.serve.server.Server` built from ``server_options``
+        when omitted.  The network server owns it either way and closes it
+        on :meth:`close`.
+    host, port:
+        Bind address.  ``port=0`` picks a free port — read
+        :attr:`address` (or the :meth:`start` return value) for the bound
+        one.
+    solve_workers:
+        Threads of the dedicated executor running histogram-only solves
+        and session opens (the paths that bypass the micro-batch queue).
+    server_options:
+        Forwarded to :class:`~repro.serve.server.Server` when ``server``
+        is omitted.
+    """
+
+    def __init__(self, server: Server | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 solve_workers: int = 4, **server_options) -> None:
+        self.server = server if server is not None else Server(**server_options)
+        self.host = host
+        self.port = int(port)
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(solve_workers),
+            thread_name_prefix="repro-net-solve")
+        self._bound: tuple[str, int] | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._started: threading.Event | None = None
+        self._startup_error: BaseException | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int] | None:
+        """``(host, port)`` actually bound, or ``None`` before serving."""
+        return self._bound
+
+    async def serve(self, ready: Callable[[], None] | None = None) -> None:
+        """Bind and serve until :meth:`close` (or task cancellation).
+
+        ``ready`` is called once the socket is bound and :attr:`address`
+        is set — the hook the CLI uses to print the listening line and
+        tests use to unblock the client.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        tcp = await asyncio.start_server(self._handle_connection,
+                                         self.host, self.port)
+        sockname = tcp.sockets[0].getsockname()
+        self._bound = (str(sockname[0]), int(sockname[1]))
+        if ready is not None:
+            ready()
+        try:
+            async with tcp:
+                await self._stop_event.wait()
+            # hang up the remaining connections deliberately (instead of
+            # letting asyncio.run cancel them mid-write at loop teardown)
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections,
+                                     return_exceptions=True)
+        finally:
+            self._bound = None
+            self._loop = None
+            self._stop_event = None
+
+    def run(self, ready: Callable[[], None] | None = None) -> None:
+        """Blocking convenience: ``asyncio.run`` the server in this thread
+        (the ``repro serve --port`` mode).  Returns after :meth:`close`
+        from another thread, or raises ``KeyboardInterrupt`` through."""
+        asyncio.run(self.serve(ready=ready))
+
+    def start(self) -> tuple[str, int]:
+        """Serve on a daemon background thread; returns the bound address.
+
+        The pattern tests, benchmarks and examples use: real sockets, no
+        subprocess.  Pair with :meth:`close`.
+        """
+        if self._thread is not None:
+            raise RuntimeError("the network server is already running")
+        self._started = threading.Event()
+        self._startup_error = None
+        self._thread = threading.Thread(target=self._thread_main,
+                                        daemon=True,
+                                        name="repro-net-server")
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            self._thread.join()
+            self._thread = None
+            raise error
+        address = self._bound
+        assert address is not None
+        return address
+
+    def _thread_main(self) -> None:
+        assert self._started is not None
+        try:
+            asyncio.run(self.serve(ready=self._started.set))
+        except BaseException as exc:   # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+        finally:
+            # unblock start() whether binding succeeded, failed, or the
+            # loop exited before ready fired
+            self._started.set()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting connections and close the wrapped server.
+
+        Safe to call from any thread (and idempotent).  With ``wait`` the
+        background thread (if any) is joined and the wrapped
+        :class:`~repro.serve.server.Server` drains its queue before
+        returning.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        loop, stop_event = self._loop, self._stop_event
+        if loop is not None and stop_event is not None:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(stop_event.set)
+        if self._thread is not None and wait:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        self._executor.shutdown(wait=wait)
+        self.server.close(wait=wait)
+
+    def __enter__(self) -> "NetworkServer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _read_frame(self, reader: asyncio.StreamReader) -> dict:
+        header = await reader.readexactly(protocol.HEADER_BYTES)
+        payload = await reader.readexactly(protocol.frame_length(header))
+        return protocol.decode_frame(payload)
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    write_lock: asyncio.Lock, message: dict) -> None:
+        frame = protocol.encode_frame(message)
+        async with write_lock:
+            writer.write(frame)
+            await writer.drain()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        sessions: dict[str, ServerSession] = {}
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        me = asyncio.current_task()
+        if me is not None:
+            self._connections.add(me)
+        try:
+            try:
+                hello = await self._read_frame(reader)
+            except (asyncio.IncompleteReadError, protocol.ProtocolError):
+                return
+            version = hello.get("version")
+            if hello.get("type") != "hello" or version != protocol.PROTOCOL_VERSION:
+                await self._send(writer, write_lock, protocol.error_response(
+                    hello.get("id"),
+                    protocol.ProtocolError(
+                        f"unsupported protocol: expected a hello frame with "
+                        f"version {protocol.PROTOCOL_VERSION}, got "
+                        f"{hello.get('type')!r} v{version!r}"),
+                    code="unsupported_version"))
+                return
+            await self._send(writer, write_lock, protocol.hello_frame())
+            while True:
+                try:
+                    message = await self._read_frame(reader)
+                except asyncio.IncompleteReadError:
+                    break   # clean EOF (or mid-frame disconnect)
+                # one task per request: a slow solve must not stall a
+                # sibling session's feed on the same connection; response
+                # order is by completion, correlated by request id
+                task = asyncio.create_task(
+                    self._dispatch(message, sessions, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, BrokenPipeError,
+                protocol.ProtocolError, asyncio.CancelledError):
+            pass
+        finally:
+            if me is not None:
+                self._connections.discard(me)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            # close-on-disconnect: this connection's sessions die with it,
+            # so an abandoned client cannot pin the session table
+            for handle in sessions.values():
+                with contextlib.suppress(Exception):
+                    handle.close()
+            sessions.clear()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, message: dict,
+                        sessions: dict[str, ServerSession],
+                        writer: asyncio.StreamWriter,
+                        write_lock: asyncio.Lock) -> None:
+        request_id = message.get("id")
+        try:
+            response = await self._respond(message, sessions)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:   # noqa: BLE001 - typed error frame
+            response = protocol.error_response(request_id, exc)
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError,
+                                 RuntimeError):
+            await self._send(writer, write_lock, response)
+
+    async def _respond(self, message: dict,
+                       sessions: dict[str, ServerSession]) -> dict:
+        kind = message.get("type")
+        request_id = message.get("id")
+        loop = asyncio.get_running_loop()
+
+        if kind == "solve":
+            histogram = protocol.histogram_from_wire(message["histogram"])
+            solution = await loop.run_in_executor(
+                self._executor,
+                functools.partial(self.server.engine.solve, histogram,
+                                  float(message["max_distortion"]),
+                                  algorithm=message.get("algorithm")))
+            return protocol.solution_response(request_id, solution)
+
+        if kind == "process":
+            image = protocol.image_from_wire(message["image"])
+            # timeout=0: a full queue refuses immediately with the typed
+            # overloaded error — network clients back off on retry_after
+            # rather than holding the event loop hostage
+            future = self.server.submit(image,
+                                        float(message["max_distortion"]),
+                                        algorithm=message.get("algorithm"),
+                                        timeout=0.0)
+            result = await asyncio.wrap_future(future)
+            return protocol.result_response(request_id, result)
+
+        if kind == "open_session":
+            options = dict(message.get("options") or {})
+            handle = await loop.run_in_executor(
+                self._executor,
+                functools.partial(self.server.open_session,
+                                  float(message["max_distortion"]),
+                                  algorithm=message.get("algorithm"),
+                                  **options))
+            sessions[handle.id] = handle
+            return protocol.session_response(request_id, handle.id)
+
+        if kind == "feed":
+            session_id = message.get("session_id")
+            handle = sessions.get(session_id)
+            if handle is None:
+                raise SessionClosedError(
+                    f"unknown session {session_id!r} on this connection")
+            frame = protocol.image_from_wire(message["frame"])
+            future = handle.submit(frame, timeout=0.0)
+            outcome = await asyncio.wrap_future(future)
+            return protocol.frame_response(request_id, outcome)
+
+        if kind == "close_session":
+            session_id = message.get("session_id")
+            handle = sessions.pop(session_id, None)
+            if handle is not None:
+                handle.close()
+            return protocol.session_closed_response(request_id, session_id)
+
+        if kind == "stats":
+            return protocol.stats_response(request_id, self.server.stats())
+
+        raise protocol.ProtocolError(f"unknown request type {kind!r}")

@@ -239,9 +239,15 @@ class SessionManager:
                 raise ServerClosedError("the serving loop has been closed")
             self._sweep_locked()
             if len(self._sessions) >= self.max_sessions:
+                # suggest waiting a slice of the idle TTL: capacity frees up
+                # when a session closes or the sweep reaps an idle one
+                ttl = self.session_ttl
                 raise ServerOverloadedError(
                     f"session cap reached ({self.max_sessions} open); close "
-                    f"or let idle sessions expire before opening more")
+                    f"or let idle sessions expire before opening more",
+                    queue_depth=len(self._sessions),
+                    retry_after_seconds=(1.0 if ttl is None
+                                         else min(ttl / 4.0, 5.0)))
             session_id = f"s{next(self._ids):05d}"
             handle = ServerSession(self, session_id, stream, self.max_queue)
             self._sessions[session_id] = handle
@@ -267,7 +273,9 @@ class SessionManager:
                         self._recorder.note_rejected()
                     raise ServerOverloadedError(
                         f"session {handle.id} already has "
-                        f"{handle._max_queue} frames queued")
+                        f"{handle._max_queue} frames queued",
+                        queue_depth=len(handle._queue),
+                        retry_after_seconds=self._coalescer.retry_after_hint())
                 future: Future = Future()
                 handle._queue.append((frame, future, time.perf_counter()))
                 return future

@@ -24,9 +24,17 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.api.cache import CacheStats
 
-__all__ = ["percentile", "ServerStats", "SessionFrameStats", "StatsRecorder"]
+__all__ = [
+    "percentile",
+    "json_ready",
+    "ServerStats",
+    "SessionFrameStats",
+    "StatsRecorder",
+]
 
 #: Most recent frame latencies retained per stream session, and the number
 #: of per-session windows retained (oldest sessions age out first), so a
@@ -49,6 +57,32 @@ def percentile(values: Sequence[float], q: float) -> float:
     return float(ordered[max(0, min(rank, len(ordered) - 1))])
 
 
+def json_ready(mapping: Mapping[str, object]) -> dict:
+    """A copy of ``mapping`` with every numpy scalar coerced to its Python
+    counterpart, recursively through nested mappings.
+
+    The ``as_dict`` payloads of this module travel verbatim through
+    ``json.dumps`` — the CI perf artifacts, ``repro loadtest --json`` and
+    the ``stats`` RPC of :mod:`repro.serve.protocol` — and a single
+    ``np.float64`` smuggled in by an upstream computation (``round()``
+    preserves the numpy type!) would make serialization raise.  Every
+    ``as_dict`` in the serving layer funnels through this guard so the
+    round-trip is guaranteed by construction.
+    """
+    coerced: dict = {}
+    for key, value in mapping.items():
+        if isinstance(value, Mapping):
+            value = json_ready(value)
+        elif isinstance(value, np.bool_):
+            value = bool(value)
+        elif isinstance(value, np.integer):
+            value = int(value)
+        elif isinstance(value, np.floating):
+            value = float(value)
+        coerced[key] = value
+    return coerced
+
+
 @dataclass(frozen=True)
 class SessionFrameStats:
     """Per-session frame telemetry inside a :class:`ServerStats` snapshot.
@@ -64,14 +98,15 @@ class SessionFrameStats:
     latency_p95: float
 
     def as_dict(self) -> Mapping[str, float | int | str]:
-        """A flat, JSON-ready view (latencies in ms)."""
-        return {
+        """A flat, JSON-ready view (latencies in ms) — guaranteed to
+        ``json.dumps`` round-trip (see :func:`json_ready`)."""
+        return json_ready({
             "session_id": self.session_id,
             "frames": self.frames,
             "latency_mean_ms": round(1e3 * self.latency_mean, 3),
             "latency_p50_ms": round(1e3 * self.latency_p50, 3),
             "latency_p95_ms": round(1e3 * self.latency_p95, 3),
-        }
+        })
 
 
 @dataclass(frozen=True)
@@ -141,8 +176,16 @@ class ServerStats:
         return self.submitted - self.completed - self.failed
 
     def as_dict(self) -> Mapping[str, float | int]:
-        """A flat, JSON-ready view of the snapshot (latencies in ms)."""
-        return {
+        """A JSON-ready view of the snapshot (latencies in ms).
+
+        Flat counters plus one nested ``sessions`` mapping (session id →
+        :meth:`SessionFrameStats.as_dict`).  Guaranteed to ``json.dumps``
+        round-trip (see :func:`json_ready`) — this is the verbatim payload
+        of the ``stats`` RPC, and
+        :func:`repro.serve.protocol.server_stats_from_wire` rebuilds a
+        :class:`ServerStats` from it on the client side.
+        """
+        return json_ready({
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
@@ -164,9 +207,14 @@ class ServerStats:
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_replays": self.cache.replays,
+            "cache_size": self.cache.size,
+            "cache_max_size": self.cache.max_size,
+            "cache_evictions": self.cache.evictions,
             "cache_hit_rate": round(self.cache.hit_rate, 4),
             "cache_reuse_rate": round(self.cache.reuse_rate, 4),
-        }
+            "sessions": {session_id: entry.as_dict()
+                         for session_id, entry in self.sessions.items()},
+        })
 
 
 class StatsRecorder:

@@ -1,0 +1,78 @@
+"""Tests for the histogram-only solve surface (:meth:`Engine.solve` and
+:meth:`Histogram.to_image`) — the API layer under the ``solve`` RPC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.registry import HEBSAlgorithm
+from repro.core.histogram import Histogram
+from repro.imaging.image import Image
+
+
+class TestHistogramToImage:
+    def test_round_trips_the_histogram_bitwise(self, lena):
+        histogram = Histogram.of_image(lena)
+        assert Histogram.of_image(histogram.to_image()) == histogram
+
+    def test_shape_is_squarest_exact_factorization(self, lena):
+        image = Histogram.of_image(lena).to_image()
+        assert image.n_pixels == lena.n_pixels
+        assert image.shape == (128, 128)      # 16384 pixels -> square
+
+    def test_prime_pixel_count_degrades_to_a_row(self):
+        histogram = Histogram(np.array([7, 0, 0, 0]))     # 7 pixels, prime
+        image = histogram.to_image()
+        assert image.shape == (1, 7)
+        assert Histogram.of_image(image) == histogram
+
+    def test_bit_depth_covers_the_level_count(self):
+        image = Histogram(np.array([1, 0, 1, 2])).to_image()
+        assert image.bit_depth == 2
+        assert Histogram.of_image(image).levels == 4
+
+
+class TestEngineSolve:
+    def test_image_and_its_histogram_solve_identically(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        from_image = engine.solve(lena, 10.0)
+        from_histogram = Engine(HEBSAlgorithm(pipeline)).solve(
+            Histogram.of_image(lena), 10.0)
+        assert from_histogram.backlight_factor == from_image.backlight_factor
+        assert from_histogram.transform == from_image.transform
+
+    def test_solution_matches_process_and_applies_bit_identically(
+            self, pipeline, pout):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        solution = engine.solve(Histogram.of_image(pout), 10.0)
+        result = Engine(HEBSAlgorithm(pipeline)).process(pout, 10.0)
+        assert solution.backlight_factor == result.backlight_factor
+        applied = solution.transform.apply(pout.to_grayscale())
+        assert np.array_equal(applied.pixels, result.output.pixels)
+
+    def test_solve_fills_the_shared_cache_for_process(self, pipeline, lena):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        engine.solve(Histogram.of_image(lena), 10.0)
+        assert engine.cache_stats.misses == 1
+        result = engine.process(lena, 10.0)
+        assert result.from_cache
+        assert engine.cache_stats.hits == 1
+
+    def test_solve_accepts_per_call_algorithm(self, lena):
+        solution = Engine().solve(lena, 10.0, algorithm="cbcs")
+        assert solution.algorithm == "cbcs"
+        assert solution.driver_program is None
+
+    def test_histogram_only_solve_works_for_the_baselines(self, lena):
+        engine = Engine()
+        histogram = Histogram.of_image(lena)
+        for name in ("dls-brightness", "dls-contrast", "cbcs"):
+            solution = engine.solve(histogram, 10.0, algorithm=name)
+            assert solution.algorithm == name
+            assert 0.0 < solution.backlight_factor <= 1.0
+
+    def test_negative_budget_raises(self, lena):
+        with pytest.raises(ValueError, match="non-negative"):
+            Engine().solve(lena, -1.0)

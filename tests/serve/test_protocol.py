@@ -1,0 +1,347 @@
+"""Tests for the wire codec and protocol (:mod:`repro.serve.protocol`).
+
+Golden frame fixtures pin the bytes of every message type (so a protocol
+drift is a deliberate, versioned change, not an accident), and
+property-style sweeps check that histogram / LUT / image round-trips
+through the codec are bit-exact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.session import SessionClosedError
+from repro.api.types import CompensationSolution
+from repro.core.histogram import Histogram
+from repro.core.transforms import (
+    GrayscaleShiftTransform,
+    GrayscaleSpreadTransform,
+    IdentityTransform,
+    LUTTransform,
+    PiecewiseLinearTransform,
+    PixelTransform,
+    SingleBandSpreadTransform,
+)
+from repro.display.driver import HierarchicalDriver
+from repro.imaging.image import Image
+from repro.serve import protocol
+from repro.serve.coalescer import ServerClosedError, ServerOverloadedError
+
+
+# --------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------- #
+class TestFraming:
+    def test_golden_hello_frame_bytes(self):
+        # the handshake frame is pinned byte for byte: 4-byte big-endian
+        # length prefix + compact JSON with this exact key order
+        frame = protocol.encode_frame(protocol.hello_frame())
+        expected_payload = b'{"type":"hello","version":1}'
+        assert frame == (len(expected_payload).to_bytes(4, "big")
+                         + expected_payload)
+
+    def test_frame_round_trip(self):
+        message = {"type": "stats", "id": 7}
+        frame = protocol.encode_frame(message)
+        length = protocol.frame_length(frame[:4])
+        assert length == len(frame) - 4
+        assert protocol.decode_frame(frame[4:]) == message
+
+    def test_oversized_length_prefix_is_refused(self):
+        header = (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(protocol.ProtocolError, match="beyond"):
+            protocol.frame_length(header)
+
+    def test_truncated_header_is_refused(self):
+        with pytest.raises(protocol.ProtocolError, match="header"):
+            protocol.frame_length(b"\x00\x00")
+
+    def test_non_object_payload_is_refused(self):
+        with pytest.raises(protocol.ProtocolError, match="JSON object"):
+            protocol.decode_frame(b"[1, 2, 3]")
+
+    def test_undecodable_payload_is_refused(self):
+        with pytest.raises(protocol.ProtocolError, match="undecodable"):
+            protocol.decode_frame(b"\xff\xfe not json")
+
+
+# --------------------------------------------------------------------- #
+# golden message fixtures: every request/response/error type
+# --------------------------------------------------------------------- #
+class TestGoldenMessages:
+    def test_solve_request_shape(self):
+        histogram = Histogram(np.array([3, 0, 1, 4]))
+        message = protocol.solve_request(5, histogram, 10.0,
+                                         algorithm="hebs")
+        assert message == {
+            "type": "solve", "id": 5,
+            "histogram": {"counts": [3, 0, 1, 4]},
+            "max_distortion": 10.0, "algorithm": "hebs",
+        }
+        # the builder accepts an image too, shipping only its histogram
+        image = Image(np.array([[0, 0, 3]]), bit_depth=2)
+        from_image = protocol.solve_request(5, image, 10.0,
+                                            algorithm="hebs")
+        assert from_image["histogram"] == {"counts": [2, 0, 0, 1]}
+
+    def test_process_request_shape(self):
+        image = Image(np.array([[1, 2], [3, 0]]), bit_depth=2, name="quad")
+        message = protocol.process_request(9, image, 5.0)
+        assert message["type"] == "process"
+        assert message["id"] == 9
+        assert message["algorithm"] is None
+        assert message["image"]["bit_depth"] == 2
+        assert message["image"]["name"] == "quad"
+
+    def test_session_request_and_response_shapes(self):
+        opened = protocol.open_session_request(
+            1, 10.0, algorithm="hebs", options={"scene_gated_solve": True})
+        assert opened == {"type": "open_session", "id": 1,
+                          "max_distortion": 10.0, "algorithm": "hebs",
+                          "options": {"scene_gated_solve": True}}
+        assert protocol.session_response(1, "s00003") == {
+            "type": "session", "id": 1, "session_id": "s00003"}
+        assert protocol.close_session_request(2, "s00003") == {
+            "type": "close_session", "id": 2, "session_id": "s00003"}
+        assert protocol.session_closed_response(2, "s00003") == {
+            "type": "session_closed", "id": 2, "session_id": "s00003"}
+
+    def test_stats_request_shape(self):
+        assert protocol.stats_request(3) == {"type": "stats", "id": 3}
+
+    def test_every_message_is_json_serializable(self, lena):
+        histogram = Histogram.of_image(lena)
+        messages = [
+            protocol.hello_frame(),
+            protocol.solve_request(1, histogram, 10.0),
+            protocol.process_request(2, lena, 10.0),
+            protocol.open_session_request(3, 10.0),
+            protocol.feed_request(4, "s00000", lena),
+            protocol.close_session_request(5, "s00000"),
+            protocol.stats_request(6),
+        ]
+        for message in messages:
+            json.loads(json.dumps(message))
+
+
+class TestErrorFrames:
+    def test_overloaded_error_carries_structured_hints(self):
+        error = ServerOverloadedError("queue full", queue_depth=17,
+                                      retry_after_seconds=0.25)
+        frame = protocol.error_response(4, error)
+        assert frame == {"type": "error", "id": 4, "code": "overloaded",
+                         "message": "queue full", "retry_after": 0.25,
+                         "queue_depth": 17}
+        rebuilt = protocol.exception_from_error(frame)
+        assert isinstance(rebuilt, ServerOverloadedError)
+        assert rebuilt.queue_depth == 17
+        assert rebuilt.retry_after_seconds == 0.25
+
+    def test_overloaded_without_hint_gets_the_default_retry_after(self):
+        frame = protocol.error_response(1, ServerOverloadedError("full"))
+        assert frame["retry_after"] == protocol.DEFAULT_RETRY_AFTER
+
+    @pytest.mark.parametrize("error, code, rebuilt_type", [
+        (ServerClosedError("closed"), "server_closed", ServerClosedError),
+        (SessionClosedError("gone"), "session_closed", SessionClosedError),
+        (ValueError("bad budget"), "bad_request", ValueError),
+        (KeyError("algorithm"), "bad_request", ValueError),
+        (RuntimeError("boom"), "internal", RuntimeError),
+    ])
+    def test_error_code_mapping_both_ways(self, error, code, rebuilt_type):
+        frame = protocol.error_response(None, error)
+        assert frame["code"] == code
+        assert frame["id"] is None
+        assert isinstance(protocol.exception_from_error(frame), rebuilt_type)
+
+    def test_version_negotiation_error(self):
+        frame = protocol.error_response(
+            None, protocol.ProtocolError("expected version 1"),
+            code="unsupported_version")
+        assert frame["code"] == "unsupported_version"
+        assert isinstance(protocol.exception_from_error(frame),
+                          protocol.ProtocolError)
+
+
+# --------------------------------------------------------------------- #
+# value codec round-trips
+# --------------------------------------------------------------------- #
+def _json_trip(wire: dict) -> dict:
+    """Round a wire dict through actual JSON text, as the socket would."""
+    return json.loads(json.dumps(wire))
+
+
+class TestHistogramCodec:
+    def test_round_trip_is_bit_exact(self, lena):
+        histogram = Histogram.of_image(lena)
+        back = protocol.histogram_from_wire(
+            _json_trip(protocol.histogram_to_wire(histogram)))
+        assert back == histogram
+
+    def test_property_random_histograms_round_trip(self):
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            counts = rng.integers(0, 10_000, size=256)
+            counts[rng.integers(0, 256)] += 1     # never all-zero
+            histogram = Histogram(counts)
+            back = protocol.histogram_from_wire(
+                _json_trip(protocol.histogram_to_wire(histogram)))
+            assert np.array_equal(back.counts, histogram.counts)
+
+    def test_malformed_payload_raises_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.histogram_from_wire({"wrong": 1})
+
+    def test_absurd_pixel_mass_is_refused_before_allocation(self):
+        # a ~50-byte frame must not be able to claim terabytes of pixels:
+        # the decode refuses it long before Histogram.to_image would repeat
+        with pytest.raises(protocol.ProtocolError, match="pixel"):
+            protocol.histogram_from_wire({"counts": [2 ** 40, 2 ** 40]})
+        # the bound itself is admissible
+        ok = protocol.histogram_from_wire(
+            {"counts": [protocol.MAX_HISTOGRAM_PIXELS, 0]})
+        assert ok.n_pixels == protocol.MAX_HISTOGRAM_PIXELS
+
+
+class TestImageCodec:
+    def test_round_trip_is_bit_exact(self, lena):
+        back = protocol.image_from_wire(
+            _json_trip(protocol.image_to_wire(lena)))
+        assert back == lena
+        assert back.name == lena.name
+
+    def test_property_random_images_round_trip(self):
+        rng = np.random.default_rng(7)
+        for bit_depth in (1, 8, 12, 16):
+            pixels = rng.integers(0, 1 << bit_depth, size=(9, 13))
+            image = Image(pixels, bit_depth=bit_depth)
+            back = protocol.image_from_wire(
+                _json_trip(protocol.image_to_wire(image)))
+            assert back == image
+
+    def test_rgb_image_round_trips(self):
+        rng = np.random.default_rng(3)
+        image = Image(rng.integers(0, 256, size=(5, 4, 3)), bit_depth=8)
+        back = protocol.image_from_wire(
+            _json_trip(protocol.image_to_wire(image)))
+        assert back == image
+
+
+class TestTransformCodec:
+    @pytest.mark.parametrize("transform", [
+        IdentityTransform(),
+        GrayscaleShiftTransform(beta=0.7),
+        GrayscaleSpreadTransform(beta=0.55),
+        SingleBandSpreadTransform(g_low=0.1, g_high=0.9),
+        PiecewiseLinearTransform(x_breaks=(0.0, 0.3, 1.0),
+                                 y_breaks=(0.0, 0.8, 1.0)),
+        LUTTransform(table=(0.0, 0.25, 0.5, 1.0)),
+    ])
+    def test_builtin_transforms_round_trip_exactly(self, transform):
+        back = protocol.transform_from_wire(
+            _json_trip(protocol.transform_to_wire(transform)))
+        assert back == transform
+
+    def test_property_random_luts_round_trip_bit_exact(self):
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            table = np.sort(rng.random(64))
+            table[0], table[-1] = 0.0, 1.0
+            transform = LUTTransform(table=tuple(float(v) for v in table))
+            back = protocol.transform_from_wire(
+                _json_trip(protocol.transform_to_wire(transform)))
+            assert back.table == transform.table     # float-exact
+
+    def test_round_tripped_transform_applies_bit_identically(self, lena):
+        transform = PiecewiseLinearTransform(
+            x_breaks=(0.0, 0.2, 0.8, 1.0), y_breaks=(0.0, 0.5, 0.9, 1.0))
+        back = protocol.transform_from_wire(
+            _json_trip(protocol.transform_to_wire(transform)))
+        assert np.array_equal(back.apply(lena).pixels,
+                              transform.apply(lena).pixels)
+
+    def test_unknown_transform_degrades_to_its_lut(self):
+        class Squaring(PixelTransform):
+            def evaluate(self, x):
+                return x ** 2
+
+        wire = protocol.transform_to_wire(Squaring())
+        assert wire["kind"] == "lut"
+        back = protocol.transform_from_wire(_json_trip(wire))
+        grid = np.linspace(0.0, 1.0, 256)
+        # exact at every grid point of the sampled LUT
+        assert np.array_equal(back(grid), Squaring()(grid))
+
+    def test_unknown_kind_raises_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError, match="unknown transform"):
+            protocol.transform_from_wire({"kind": "mystery"})
+
+
+class TestSolutionAndResultCodec:
+    def test_driver_program_round_trip_is_bit_exact(self):
+        program = HierarchicalDriver(n_sources=4).program(
+            [0.0, 100.0, 255.0], [0.0, 180.0, 255.0], 0.8)
+        back = protocol.driver_program_from_wire(
+            _json_trip(protocol.driver_program_to_wire(program)))
+        assert np.array_equal(back.breakpoint_levels,
+                              program.breakpoint_levels)
+        assert np.array_equal(back.reference_voltages,
+                              program.reference_voltages)
+        assert back.backlight_factor == program.backlight_factor
+        assert np.array_equal(back.lut(), program.lut())
+
+    def test_solution_round_trip(self, pipeline, lena):
+        from repro.api.engine import Engine
+        from repro.api.registry import HEBSAlgorithm
+
+        solution = Engine(HEBSAlgorithm(pipeline)).solve(lena, 10.0)
+        back = protocol.solution_from_wire(
+            _json_trip(protocol.solution_to_wire(solution)))
+        assert back.algorithm == solution.algorithm
+        assert back.backlight_factor == solution.backlight_factor
+        assert back.transform == solution.transform
+        # the native details stay server-side by design
+        assert back.details is None
+        # ... but the shipped LUT applies bit-identically
+        grayscale = lena.to_grayscale()
+        assert np.array_equal(back.transform.apply(grayscale).pixels,
+                              solution.transform.apply(grayscale).pixels)
+
+    def test_result_round_trip_preserves_equality(self, pipeline, lena):
+        from repro.api.engine import Engine
+        from repro.api.registry import HEBSAlgorithm
+
+        result = Engine(HEBSAlgorithm(pipeline)).process(lena, 10.0)
+        back = protocol.result_from_wire(
+            _json_trip(protocol.result_to_wire(result)))
+        assert back == result     # dataclass equality: images, transform,
+        assert back.power.total == result.power.total      # powers, budget
+        assert back.max_distortion == result.max_distortion
+
+    def test_stream_frame_round_trip(self, pipeline, lena, pout):
+        from repro.api.engine import Engine
+        from repro.api.registry import HEBSAlgorithm
+
+        engine = Engine(HEBSAlgorithm(pipeline))
+        with engine.open_session(10.0) as session:
+            outcomes = [session.submit(lena), session.submit(pout)]
+        for outcome in outcomes:
+            back = protocol.stream_frame_from_wire(
+                _json_trip(protocol.stream_frame_to_wire(outcome)))
+            assert back.result == outcome.result
+            assert back.requested_backlight == outcome.requested_backlight
+            assert back.applied_backlight == outcome.applied_backlight
+            assert back.scene_change == outcome.scene_change
+
+    def test_solution_without_driver_program_round_trips(self):
+        solution = CompensationSolution(
+            algorithm="cbcs",
+            transform=SingleBandSpreadTransform(0.1, 0.9),
+            backlight_factor=0.8)
+        back = protocol.solution_from_wire(
+            _json_trip(protocol.solution_to_wire(solution)))
+        assert back.driver_program is None
+        assert back.transform == solution.transform

@@ -1,0 +1,99 @@
+"""Regression tests: serving stats must ``json.dumps`` round-trip.
+
+The ``stats`` RPC of :mod:`repro.serve.protocol` serves
+``ServerStats.as_dict()`` verbatim, and the CI perf artifacts serialize the
+loadgen reports — so a numpy scalar smuggled into any ``as_dict`` (e.g. by
+``round(np.float64(...))``, which *preserves* the numpy type) is a
+production crash.  :func:`repro.serve.stats.json_ready` is the guard; these
+tests pin it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.cache import CacheStats
+from repro.serve.stats import (
+    ServerStats,
+    SessionFrameStats,
+    StatsRecorder,
+    json_ready,
+)
+
+
+class TestJsonReady:
+    def test_coerces_numpy_scalars(self):
+        coerced = json_ready({
+            "i": np.int64(7), "f": np.float64(0.5), "b": np.bool_(True),
+            "nested": {"g": np.float32(1.5)},
+            "plain": "text",
+        })
+        assert coerced == {"i": 7, "f": 0.5, "b": True,
+                           "nested": {"g": 1.5}, "plain": "text"}
+        assert type(coerced["i"]) is int
+        assert type(coerced["f"]) is float
+        assert type(coerced["b"]) is bool
+        json.dumps(coerced)
+
+    def test_numpy_scalars_are_what_json_rejects(self):
+        # the failure mode the guard exists for: np.bool_/np.float32 are
+        # not JSON-serializable (np.float64 sneaks through as a float
+        # subclass on some versions, booleans never do)
+        with pytest.raises(TypeError):
+            json.dumps({"flag": np.bool_(True)})
+
+
+class TestServerStatsJsonRoundTrip:
+    def _snapshot_with_numpy_inputs(self) -> ServerStats:
+        """Feed the recorder numpy scalars the way a timing loop might."""
+        recorder = StatsRecorder()
+        recorder.note_submitted()
+        recorder.note_completed(np.float64(0.25))
+        recorder.note_batch(int(np.int64(1)))
+        recorder.note_session_opened()
+        recorder.note_session_frame("s00000", np.float64(0.125))
+        cache = CacheStats(hits=int(np.int64(3)), misses=1, size=4,
+                           max_size=8, evictions=0, replays=2)
+        return recorder.snapshot(cache=cache, queue_depth=2,
+                                 sessions_open=1)
+
+    def test_as_dict_json_dumps_round_trips(self):
+        payload = self._snapshot_with_numpy_inputs().as_dict()
+        rebuilt = json.loads(json.dumps(payload))
+        assert rebuilt == payload
+
+    def test_as_dict_includes_cache_and_session_detail(self):
+        payload = self._snapshot_with_numpy_inputs().as_dict()
+        assert payload["cache_size"] == 4
+        assert payload["cache_max_size"] == 8
+        assert payload["cache_evictions"] == 0
+        assert payload["sessions"]["s00000"]["frames"] == 1
+        assert payload["sessions"]["s00000"]["latency_p50_ms"] == \
+            pytest.approx(125.0)
+
+    def test_session_frame_stats_as_dict_round_trips(self):
+        entry = SessionFrameStats(session_id="s00001", frames=3,
+                                  latency_mean=np.float64(0.010),
+                                  latency_p50=np.float64(0.009),
+                                  latency_p95=np.float64(0.020))
+        payload = entry.as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_wire_round_trip_preserves_the_snapshot(self):
+        from repro.serve.protocol import server_stats_from_wire
+
+        snapshot = self._snapshot_with_numpy_inputs()
+        payload = json.loads(json.dumps(snapshot.as_dict()))
+        rebuilt = server_stats_from_wire(payload)
+        assert rebuilt.submitted == snapshot.submitted
+        assert rebuilt.completed == snapshot.completed
+        assert rebuilt.cache.hits == snapshot.cache.hits
+        assert rebuilt.cache.max_size == snapshot.cache.max_size
+        assert rebuilt.latency_p50 == pytest.approx(snapshot.latency_p50,
+                                                    abs=5e-7)
+        assert set(rebuilt.sessions) == set(snapshot.sessions)
+        assert rebuilt.sessions["s00000"].frames == \
+            snapshot.sessions["s00000"].frames
