@@ -355,6 +355,45 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """The ``repro cluster`` mode: route the wire protocol across running
+    ``repro serve --port`` shards until interrupted."""
+    # deferred import: the cluster layer is only needed here
+    from repro.cluster import ClusterRouter
+
+    shards = [address.strip()
+              for address in str(args.shards).split(",") if address.strip()]
+    router = ClusterRouter(shards, host=args.host, port=args.port,
+                           replicas=args.replicas,
+                           health_interval=args.health_interval,
+                           markdown_after=args.markdown_after)
+
+    def ready() -> None:
+        host, port = router.address
+        # same parseable, flushed readiness contract as `repro serve --port`
+        _print(f"cluster serving on {host}:{port} over {len(shards)} "
+               f"shard{'s' if len(shards) != 1 else ''} (protocol v1); "
+               f"Ctrl-C to stop")
+        sys.stdout.flush()
+
+    try:
+        router.run(ready=ready)
+    except KeyboardInterrupt:
+        _print("interrupted; shutting down")
+    finally:
+        router.close(wait=True)
+    table = Table(
+        title="Cluster routing snapshot",
+        columns=("quantity", "value"),
+        precision=3,
+    ).with_rows(
+        {"quantity": key, "value": value}
+        for key, value in router.cluster_info().items()
+    )
+    _print(table.render())
+    return 0
+
+
 def _stream_workload(streams: int, frames: int) -> list:
     """``streams`` clips of ``frames`` frames each, cycling the benchmark
     suite with a per-stream phase offset — consecutive frames repeat
@@ -555,6 +594,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "instead of running the in-process demo "
                             "workload")
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="route the wire protocol across running `repro serve --port` "
+             "shards by content (consistent-hash cache affinity)")
+    cluster.add_argument("--shards", required=True, metavar="HOST:PORT,...",
+                         help="comma-separated backend shard addresses")
+    cluster.add_argument("--host", default="127.0.0.1",
+                         help="bind address of the router "
+                              "(default: 127.0.0.1)")
+    cluster.add_argument("--port", type=int, default=0,
+                         help="router TCP port (default: 0 picks a free one; "
+                              "the conventional port is 7096)")
+    cluster.add_argument("--replicas", type=int, default=64,
+                         help="virtual nodes per shard on the hash ring")
+    cluster.add_argument("--health-interval", type=float, default=1.0,
+                         help="seconds between shard health probes")
+    cluster.add_argument("--markdown-after", type=int, default=2,
+                         help="consecutive probe failures before a shard is "
+                              "marked down")
+    cluster.set_defaults(func=_cmd_cluster)
 
     loadtest = subparsers.add_parser(
         "loadtest", parents=[serving_options],

@@ -18,7 +18,9 @@ speaking the wire protocol of :mod:`repro.serve.protocol` to a
     :class:`~repro.api.session.StreamSession` surface;
     ``stats`` — the server's live statistics snapshot.
 
-    Lost connections reconnect with exponential back-off; a typed
+    Lost connections reconnect with jittered exponential back-off
+    (:class:`Backoff` — a herd of clients dropped by the same restart
+    spreads out instead of returning in lockstep); a typed
     ``overloaded`` error honors the server's ``retry_after`` hint.  Error
     frames raise the same exception types as in-process calls
     (:class:`~repro.serve.coalescer.ServerOverloadedError` with its
@@ -46,6 +48,7 @@ Quickstart::
 
 from repro.client.adapter import RemoteServerAdapter
 from repro.client.aio import AsyncClient, AsyncRemoteSession
+from repro.client.backoff import Backoff
 from repro.client.sync import (
     Client,
     LocalCompensation,
@@ -56,6 +59,7 @@ from repro.client.sync import (
 __all__ = [
     "Client",
     "AsyncClient",
+    "Backoff",
     "RemoteSession",
     "AsyncRemoteSession",
     "LocalCompensation",

@@ -30,6 +30,7 @@ from repro.serve import protocol
 from repro.serve.coalescer import ServerOverloadedError
 from repro.serve.net import DEFAULT_PORT
 from repro.serve.stats import ServerStats
+from repro.client.backoff import Backoff
 from repro.client.sync import LocalCompensation, parse_address
 
 __all__ = ["AsyncClient", "AsyncRemoteSession"]
@@ -102,6 +103,7 @@ class AsyncClient:
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                  timeout: float = 60.0, retries: int = 3,
                  backoff: float = 0.1, max_backoff: float = 2.0,
+                 jitter: float = 0.5, rng=None,
                  retry_overloaded: bool = True) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -112,6 +114,7 @@ class AsyncClient:
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
         self.retry_overloaded = bool(retry_overloaded)
+        self._backoff = Backoff(backoff, max_backoff, jitter=jitter, rng=rng)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._lock = asyncio.Lock()
@@ -150,9 +153,11 @@ class AsyncClient:
                       algorithm: str | None = None) -> CompensationResult:
         """Full-image request (see
         :meth:`Client.process <repro.client.sync.Client.process>`)."""
+        routing = protocol.routing_key(image)
         response = await self._request(
             lambda request_id: protocol.process_request(
-                request_id, image, max_distortion, algorithm=algorithm),
+                request_id, image, max_distortion, algorithm=algorithm,
+                routing=routing),
             expected="result")
         return protocol.result_from_wire(response["result"])
 
@@ -259,8 +264,7 @@ class AsyncClient:
                         raise ConnectionError(
                             f"lost connection to {self.host}:{self.port} "
                             f"({exc!r})") from exc
-                    await asyncio.sleep(min(self.backoff * (2 ** attempt),
-                                            self.max_backoff))
+                    await asyncio.sleep(self._backoff.delay(attempt))
                     attempt += 1
                     continue
                 if response.get("type") == "error":

@@ -1,0 +1,61 @@
+"""Jittered exponential back-off: the retry pacing of the client SDK.
+
+When a shard restarts, *every* client it served loses its connection at
+the same instant.  With the plain deterministic schedule
+``min(base * 2**attempt, maximum)`` they all sleep identical delays and
+reconnect in lockstep — a thundering herd hammering the recovering server
+in synchronized waves.  :class:`Backoff` multiplies each delay by a
+random factor drawn from ``[1 - jitter, 1]``, spreading the herd across
+the back-off window while never exceeding the un-jittered schedule.
+
+The RNG is injectable so tests pin the exact delays.  Note what is *not*
+jittered: a server-directed ``retry_after`` hint on an ``overloaded``
+error frame is an instruction, not a guess — the clients honor it as
+given (the server already staggers admission through its queue).
+
+Shared by :class:`repro.client.sync.Client`,
+:class:`repro.client.aio.AsyncClient` and the failover/reconnect pacing
+of :class:`repro.cluster.router.ClusterRouter`.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["Backoff"]
+
+
+class Backoff:
+    """Exponential back-off schedule with multiplicative jitter.
+
+    Parameters
+    ----------
+    base, maximum:
+        Attempt ``n`` (0-based) waits at most ``min(base * 2**n, maximum)``
+        seconds.
+    jitter:
+        Fraction of each delay that is randomized: the delay is scaled by
+        a factor uniform in ``[1 - jitter, 1]``.  ``0`` reproduces the
+        deterministic schedule, ``1`` allows any delay down to zero.
+    rng:
+        Random source with a ``random()`` method (injectable for
+        deterministic tests); a fresh :class:`random.Random` by default.
+    """
+
+    def __init__(self, base: float = 0.1, maximum: float = 2.0, *,
+                 jitter: float = 0.5, rng=None) -> None:
+        if base < 0 or maximum < 0:
+            raise ValueError("base and maximum must be non-negative")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.base = float(base)
+        self.maximum = float(maximum)
+        self.jitter = float(jitter)
+        self._rng = rng if rng is not None else random.Random()
+
+    def delay(self, attempt: int) -> float:
+        """The jittered delay (seconds) before retry ``attempt`` (0-based)."""
+        delay = min(self.base * (2.0 ** int(attempt)), self.maximum)
+        if self.jitter > 0.0:
+            delay *= 1.0 - self.jitter * self._rng.random()
+        return delay

@@ -36,6 +36,7 @@ from repro.api.types import (
     StreamFrameResult,
 )
 from repro.api.session import SessionClosedError
+from repro.client.backoff import Backoff
 from repro.core.histogram import Histogram
 from repro.core.transforms import PixelTransform
 from repro.imaging.image import Image
@@ -203,8 +204,14 @@ class Client:
         (honoring the server's ``retry_after`` hint).  ``0`` disables
         retrying.
     backoff, max_backoff:
-        Reconnect back-off: attempt ``n`` sleeps
-        ``min(backoff * 2**n, max_backoff)`` seconds.
+        Reconnect back-off: attempt ``n`` sleeps at most
+        ``min(backoff * 2**n, max_backoff)`` seconds, scaled down by
+        ``jitter`` (see :class:`~repro.client.backoff.Backoff`).
+    jitter, rng:
+        Randomized fraction of each reconnect delay (clients dropped by
+        the same restart must not return in lockstep) and an injectable
+        random source for deterministic tests.  The server-directed
+        ``retry_after`` hint is never jittered.
     retry_overloaded:
         Whether an ``overloaded`` error frame is retried after its
         ``retry_after`` hint (up to ``retries`` attempts) instead of
@@ -214,6 +221,7 @@ class Client:
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                  timeout: float = 60.0, retries: int = 3,
                  backoff: float = 0.1, max_backoff: float = 2.0,
+                 jitter: float = 0.5, rng=None,
                  retry_overloaded: bool = True) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -224,6 +232,7 @@ class Client:
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
         self.retry_overloaded = bool(retry_overloaded)
+        self._backoff = Backoff(backoff, max_backoff, jitter=jitter, rng=rng)
         self._sock: socket.socket | None = None
         self._next_id = 0
 
@@ -269,10 +278,17 @@ class Client:
                 algorithm: str | None = None) -> CompensationResult:
         """Full-image request: the server applies the solution and accounts
         distortion and power.  Mirrors
-        :meth:`Engine.process <repro.api.engine.Engine.process>`."""
+        :meth:`Engine.process <repro.api.engine.Engine.process>`.
+
+        The request is stamped with the content's
+        :func:`~repro.serve.protocol.routing_key`, so a cluster router
+        places it on the shard whose cache holds its solution without
+        decoding the pixels."""
+        routing = protocol.routing_key(image)
         response = self._request(
             lambda request_id: protocol.process_request(
-                request_id, image, max_distortion, algorithm=algorithm),
+                request_id, image, max_distortion, algorithm=algorithm,
+                routing=routing),
             expected="result")
         return protocol.result_from_wire(response["result"])
 
@@ -391,8 +407,7 @@ class Client:
                     raise ConnectionError(
                         f"lost connection to {self.host}:{self.port} "
                         f"({exc})") from exc
-                time.sleep(min(self.backoff * (2 ** attempt),
-                               self.max_backoff))
+                time.sleep(self._backoff.delay(attempt))
                 attempt += 1
                 continue
             if response.get("type") == "error":

@@ -1,0 +1,45 @@
+"""Cache-affinity sharded serving: a cluster of ``NetworkServer`` shards
+behind one consistent-hash router.
+
+The single-server stack (``repro serve``) scales a machine; this package
+scales machines.  The observation it is built on: the engine's solution
+cache is keyed by the quantized histogram signature, so a router that
+hashes the *same* signature onto a :class:`HashRing` sends every
+duplicate of a frame to the shard whose cache already holds its solution
+— N shards give ~N independent caches that partition the key space
+instead of N cold copies of it.
+
+* :class:`HashRing` — consistent hashing with virtual nodes; removing a
+  shard remaps only its own arcs (expected ``1/N`` of keys), and the
+  ring walk doubles as the failover order.
+* :class:`ShardHealth` — the mark-down/mark-up state machine per shard,
+  driven by periodic health probes and live-traffic evidence.
+* :class:`ClusterRouter` — the asyncio front door: frames bytes like a
+  shard, forwards by content key, pins sessions to their shard for life
+  (a dead shard surfaces :class:`~repro.api.session.SessionClosedError`,
+  never a silent re-route), answers ``stats`` with the aggregated
+  cluster view.
+* :func:`aggregate_stats` / :class:`ClusterCounters` — the merged stats
+  payload: same shape as one server, plus per-shard attribution and the
+  router's ring counters.
+
+Run one with ``repro cluster --shards HOST:PORT,HOST:PORT --port 7096``;
+clients (``repro.client``, ``repro loadtest --connect``) speak to it
+unchanged.
+"""
+
+from repro.cluster.health import ShardHealth
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.cluster.router import DEFAULT_ROUTER_PORT, ClusterRouter, ShardLink
+from repro.cluster.stats import ClusterCounters, aggregate_stats
+
+__all__ = [
+    "ClusterRouter",
+    "ShardLink",
+    "HashRing",
+    "ShardHealth",
+    "ClusterCounters",
+    "aggregate_stats",
+    "DEFAULT_REPLICAS",
+    "DEFAULT_ROUTER_PORT",
+]

@@ -1,0 +1,72 @@
+"""Shard membership and health: mark-down / mark-up state machines.
+
+Membership is **static** (the ``--shards`` list); what changes at runtime
+is each shard's *health*, tracked by one :class:`ShardHealth` per shard.
+The router drives the transitions from two evidence streams:
+
+* the **periodic health probe** (the ``health`` RPC of
+  :mod:`repro.serve.protocol`, answered straight off the shard's event
+  loop) — ``markdown_after`` *consecutive* probe failures mark the shard
+  down, so one dropped packet doesn't evict a warm cache's worth of keys
+  from their home;
+* **live traffic** — a connection-level failure while forwarding a real
+  request is ``hard`` evidence and marks the shard down immediately (the
+  request it interrupted is already being failed over; routing more
+  traffic at the shard would just queue more failures).
+
+Any successful round trip — including a typed ``overloaded`` error frame,
+which is proof of life from a shard that is shedding load, not gone —
+marks the shard back up and resets the failure streak.  A down shard is
+skipped by the ring walk (:meth:`repro.cluster.ring.HashRing.preference`),
+which is exactly the consistent-hash failover: only the dead shard's keys
+move, and they move back when the probe marks it up again.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ShardHealth"]
+
+
+class ShardHealth:
+    """Health state of one shard as seen from the router.
+
+    Plain mutable state, mutated only on the router's event loop.
+    """
+
+    def __init__(self, shard: str, *, markdown_after: int = 2) -> None:
+        if markdown_after < 1:
+            raise ValueError("markdown_after must be at least 1")
+        self.shard = str(shard)
+        self.markdown_after = int(markdown_after)
+        self.up = True
+        self.failures = 0      # consecutive, reset by any success
+        self.markdowns = 0     # lifetime down transitions
+        self.markups = 0       # lifetime up transitions (initial up not counted)
+
+    def note_success(self) -> bool:
+        """Record a successful round trip; ``True`` when this transition
+        marked the shard back up."""
+        self.failures = 0
+        if self.up:
+            return False
+        self.up = True
+        self.markups += 1
+        return True
+
+    def note_failure(self, hard: bool = False) -> bool:
+        """Record a failed probe — or, with ``hard``, a connection failure
+        from live traffic, which marks down immediately.  ``True`` when
+        this transition marked the shard down."""
+        self.failures += 1
+        if not self.up:
+            return False
+        if hard or self.failures >= self.markdown_after:
+            self.up = False
+            self.markdowns += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:   # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return (f"ShardHealth({self.shard!r}, {state}, "
+                f"failures={self.failures})")

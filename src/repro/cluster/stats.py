@@ -1,0 +1,134 @@
+"""Cluster-wide statistics: per-shard attribution plus one merged view.
+
+The router answers the ordinary ``stats`` RPC, so every existing client
+(``Client.stats()``, ``repro loadtest --connect``, the CI artifacts)
+works against a cluster unchanged.  :func:`aggregate_stats` builds that
+answer: it keeps the exact key set of
+:meth:`repro.serve.stats.ServerStats.as_dict` — counters summed across
+shards, throughput summed, latencies folded as completion-weighted means,
+cache rates recomputed from the summed counters — so
+:func:`repro.serve.protocol.server_stats_from_wire` rebuilds a
+``ServerStats`` from it like from any single server.  Two extra keys make
+the cluster legible:
+
+``shards``
+    The raw per-shard payloads, keyed by shard id (each carries its own
+    ``shard_id`` — the satellite attribution the per-shard snapshots were
+    stamped for).
+``cluster``
+    The router's own view: configured/up membership, ring geometry, the
+    per-shard routing and session counters of :class:`ClusterCounters`,
+    failovers, and the health transitions.
+
+Everything funnels through :func:`repro.serve.stats.json_ready`, so the
+payload ``json.dumps`` round-trips by construction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Mapping
+
+from repro.serve.stats import json_ready
+
+__all__ = ["ClusterCounters", "aggregate_stats"]
+
+#: Plain additive counters of a stats payload.
+_SUM_KEYS = (
+    "submitted", "completed", "failed", "rejected", "batches",
+    "queue_depth", "sessions_open", "sessions_opened", "sessions_closed",
+    "sessions_evicted", "session_frames", "cache_hits", "cache_misses",
+    "cache_replays", "cache_size", "cache_max_size", "cache_evictions",
+)
+
+#: Latency keys folded as completion-weighted means.  A weighted mean of
+#: per-shard percentiles is not the cluster percentile (that would need
+#: the raw windows), but it is the right single-number summary a monitor
+#: can trend — and it is exact when the shards are balanced.
+_LATENCY_KEYS = ("latency_mean_ms", "latency_p50_ms", "latency_p95_ms",
+                 "latency_p99_ms")
+
+
+class ClusterCounters:
+    """The router's ring/affinity counters (mutated on its event loop).
+
+    ``routed`` counts content-keyed one-shot RPCs per shard address — the
+    observable of cache affinity (a duplicate-heavy workload should pile
+    onto few shards per distinct key, not spread).  ``sessions_routed``
+    counts session placements per shard; ``failovers`` counts one-shot
+    requests re-forwarded past a dead shard along the ring walk.
+    """
+
+    def __init__(self) -> None:
+        self.routed: Counter[str] = Counter()
+        self.sessions_routed: Counter[str] = Counter()
+        self.failovers = 0
+
+    def as_dict(self) -> dict:
+        return json_ready({
+            "routed": {shard: int(count)
+                       for shard, count in sorted(self.routed.items())},
+            "sessions_routed": {
+                shard: int(count)
+                for shard, count in sorted(self.sessions_routed.items())},
+            "failovers": int(self.failovers),
+        })
+
+
+def aggregate_stats(shards: Mapping[str, Mapping[str, Any]],
+                    cluster: Mapping[str, Any] | None = None) -> dict:
+    """Fold per-shard ``stats`` payloads into one cluster-wide payload.
+
+    ``shards`` maps shard id → the shard's raw ``as_dict`` payload (a
+    shard that could not be reached is simply absent).  The result is a
+    superset of a single server's payload: same keys, plus ``shards`` and
+    ``cluster`` (see the module docstring).
+    """
+    payloads = {str(shard): dict(payload)
+                for shard, payload in shards.items()}
+
+    def total(key: str) -> int:
+        return sum(int(payload.get(key, 0)) for payload in payloads.values())
+
+    def weighted(key: str, weight_key: str) -> float:
+        pairs = [(float(payload.get(key, 0.0)),
+                  int(payload.get(weight_key, 0)))
+                 for payload in payloads.values()]
+        weight = sum(count for _, count in pairs)
+        if not weight:
+            return 0.0
+        return sum(value * count for value, count in pairs) / weight
+
+    aggregated: dict[str, Any] = {"shard_id": "cluster"}
+    for key in _SUM_KEYS:
+        aggregated[key] = total(key)
+    aggregated["mean_batch_size"] = round(
+        weighted("mean_batch_size", "batches"), 3)
+    # elapsed is wall time, not work: the cluster has been serving as long
+    # as its longest-serving shard, while throughput adds across shards
+    aggregated["elapsed_seconds"] = round(
+        max((float(payload.get("elapsed_seconds", 0.0))
+             for payload in payloads.values()), default=0.0), 6)
+    aggregated["throughput_rps"] = round(
+        sum(float(payload.get("throughput_rps", 0.0))
+            for payload in payloads.values()), 3)
+    for key in _LATENCY_KEYS:
+        aggregated[key] = round(weighted(key, "completed"), 3)
+    hits = aggregated["cache_hits"]
+    misses = aggregated["cache_misses"]
+    replays = aggregated["cache_replays"]
+    lookups = hits + misses
+    aggregated["cache_hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+    aggregated["cache_reuse_rate"] = (
+        round((hits + replays) / (lookups + replays), 4)
+        if lookups + replays else 0.0)
+    # session telemetry stays attributable: shard-local session ids may
+    # collide across shards, so they are namespaced by shard id here
+    aggregated["sessions"] = {
+        f"{shard}/{session_id}": dict(entry)
+        for shard, payload in payloads.items()
+        for session_id, entry in dict(payload.get("sessions", {})).items()
+    }
+    aggregated["shards"] = payloads
+    aggregated["cluster"] = dict(cluster or {})
+    return json_ready(aggregated)

@@ -24,6 +24,13 @@ thread-safe :class:`~repro.api.engine.Engine`, the micro-batching
   connection dies with it (close-on-disconnect), so a vanished client can
   never pin the session table.
 
+The event-loop discipline — length-prefixed frames, a ``hello``
+handshake, one asyncio task per request, a per-connection write lock,
+close-on-disconnect cleanup, and the serve/run/start/close lifecycle — is
+factored into :class:`FrameServerBase` so the cluster router of
+:mod:`repro.cluster.router` (a byte-shuttling front for many
+``NetworkServer`` shards) speaks the protocol with the exact same manners.
+
 ``repro serve --host H --port P`` runs one from the command line;
 :mod:`repro.client` is the SDK on the other end.  For tests, benchmarks
 and examples the server also runs on a background thread::
@@ -41,52 +48,45 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import functools
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable
+from typing import Any, Callable
 
 from repro.api.session import SessionClosedError
 from repro.serve import protocol
 from repro.serve.server import Server, ServerSession
 
-__all__ = ["NetworkServer", "DEFAULT_PORT"]
+__all__ = ["FrameServerBase", "NetworkServer", "DEFAULT_PORT"]
 
 #: Default TCP port of ``repro serve --port`` and the client SDK.
 DEFAULT_PORT = 7095
 
 
-class NetworkServer:
-    """Serve a :class:`~repro.serve.server.Server` over asyncio TCP.
+class FrameServerBase:
+    """Shared asyncio machinery of the protocol's byte-framing servers.
 
-    Parameters
-    ----------
-    server:
-        The in-process serving stack to expose; a fresh
-        :class:`~repro.serve.server.Server` built from ``server_options``
-        when omitted.  The network server owns it either way and closes it
-        on :meth:`close`.
-    host, port:
-        Bind address.  ``port=0`` picks a free port — read
-        :attr:`address` (or the :meth:`start` return value) for the bound
-        one.
-    solve_workers:
-        Threads of the dedicated executor running histogram-only solves
-        and session opens (the paths that bypass the micro-batch queue).
-    server_options:
-        Forwarded to :class:`~repro.serve.server.Server` when ``server``
-        is omitted.
+    Owns the bind/serve/close lifecycle (including the background-thread
+    :meth:`start` used by tests and benchmarks) and the per-connection
+    discipline: ``hello`` handshake, length-prefixed frames, one asyncio
+    task per request (a slow request must not stall its connection
+    siblings; responses correlate by request id), a per-connection write
+    lock, and a cleanup hook when the peer disconnects.
+
+    Subclasses implement :meth:`_respond` (and optionally the
+    ``_new_connection`` / ``_on_disconnect`` / ``_on_serve_start`` /
+    ``_on_serve_stop`` / ``_on_close`` hooks);
+    :class:`NetworkServer` answers requests with engine work,
+    :class:`repro.cluster.router.ClusterRouter` by forwarding frames to
+    backend shards.
     """
 
-    def __init__(self, server: Server | None = None, *,
-                 host: str = "127.0.0.1", port: int = 0,
-                 solve_workers: int = 4, **server_options) -> None:
-        self.server = server if server is not None else Server(**server_options)
+    _thread_name = "repro-frame-server"
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
         self.host = host
         self.port = int(port)
-        self._executor = ThreadPoolExecutor(
-            max_workers=int(solve_workers),
-            thread_name_prefix="repro-net-solve")
         self._bound: tuple[str, int] | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
@@ -113,8 +113,15 @@ class NetworkServer:
         """
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
-        tcp = await asyncio.start_server(self._handle_connection,
-                                         self.host, self.port)
+        try:
+            await self._on_serve_start()
+            tcp = await asyncio.start_server(self._handle_connection,
+                                             self.host, self.port)
+        except BaseException:
+            await self._on_serve_stop()
+            self._loop = None
+            self._stop_event = None
+            raise
         sockname = tcp.sockets[0].getsockname()
         self._bound = (str(sockname[0]), int(sockname[1]))
         if ready is not None:
@@ -130,6 +137,7 @@ class NetworkServer:
                 await asyncio.gather(*self._connections,
                                      return_exceptions=True)
         finally:
+            await self._on_serve_stop()
             self._bound = None
             self._loop = None
             self._stop_event = None
@@ -147,12 +155,12 @@ class NetworkServer:
         subprocess.  Pair with :meth:`close`.
         """
         if self._thread is not None:
-            raise RuntimeError("the network server is already running")
+            raise RuntimeError("the server is already running")
         self._started = threading.Event()
         self._startup_error = None
         self._thread = threading.Thread(target=self._thread_main,
                                         daemon=True,
-                                        name="repro-net-server")
+                                        name=self._thread_name)
         self._thread.start()
         self._started.wait()
         if self._startup_error is not None:
@@ -176,12 +184,11 @@ class NetworkServer:
             self._started.set()
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting connections and close the wrapped server.
+        """Stop accepting connections and release owned resources.
 
         Safe to call from any thread (and idempotent).  With ``wait`` the
-        background thread (if any) is joined and the wrapped
-        :class:`~repro.serve.server.Server` drains its queue before
-        returning.
+        background thread (if any) is joined before the subclass
+        :meth:`_on_close` hook runs.
         """
         if self._closed:
             return
@@ -193,15 +200,43 @@ class NetworkServer:
         if self._thread is not None and wait:
             self._thread.join(timeout=30.0)
             self._thread = None
-        self._executor.shutdown(wait=wait)
-        self.server.close(wait=wait)
+        self._on_close(wait)
 
-    def __enter__(self) -> "NetworkServer":
+    def __enter__(self):
         self.start()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks
+    # ------------------------------------------------------------------ #
+    async def _on_serve_start(self) -> None:
+        """Runs on the serving loop before the listening socket binds."""
+
+    async def _on_serve_stop(self) -> None:
+        """Runs on the serving loop as it shuts down (always paired with
+        a completed :meth:`_on_serve_start`)."""
+
+    def _on_close(self, wait: bool) -> None:
+        """Release subclass-owned resources from :meth:`close`."""
+
+    def _hello_response(self) -> dict:
+        """The server side of the handshake."""
+        return protocol.hello_frame()
+
+    def _new_connection(self) -> Any:
+        """Fresh per-connection state, handed to :meth:`_respond` and
+        :meth:`_on_disconnect`."""
+        return None
+
+    async def _respond(self, message: dict, conn: Any) -> dict:
+        """Answer one request frame; exceptions become typed error frames."""
+        raise NotImplementedError
+
+    async def _on_disconnect(self, conn: Any) -> None:
+        """Clean up one connection's state after its peer is gone."""
 
     # ------------------------------------------------------------------ #
     # connection handling
@@ -220,7 +255,7 @@ class NetworkServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        sessions: dict[str, ServerSession] = {}
+        conn = self._new_connection()
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         me = asyncio.current_task()
@@ -241,7 +276,7 @@ class NetworkServer:
                         f"{hello.get('type')!r} v{version!r}"),
                     code="unsupported_version"))
                 return
-            await self._send(writer, write_lock, protocol.hello_frame())
+            await self._send(writer, write_lock, self._hello_response())
             while True:
                 try:
                     message = await self._read_frame(reader)
@@ -251,7 +286,7 @@ class NetworkServer:
                 # sibling session's feed on the same connection; response
                 # order is by completion, correlated by request id
                 task = asyncio.create_task(
-                    self._dispatch(message, sessions, writer, write_lock))
+                    self._dispatch(message, conn, writer, write_lock))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         except (ConnectionResetError, BrokenPipeError,
@@ -262,23 +297,18 @@ class NetworkServer:
                 self._connections.discard(me)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
-            # close-on-disconnect: this connection's sessions die with it,
-            # so an abandoned client cannot pin the session table
-            for handle in sessions.values():
-                with contextlib.suppress(Exception):
-                    handle.close()
-            sessions.clear()
+            with contextlib.suppress(Exception):
+                await self._on_disconnect(conn)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _dispatch(self, message: dict,
-                        sessions: dict[str, ServerSession],
+    async def _dispatch(self, message: dict, conn: Any,
                         writer: asyncio.StreamWriter,
                         write_lock: asyncio.Lock) -> None:
         request_id = message.get("id")
         try:
-            response = await self._respond(message, sessions)
+            response = await self._respond(message, conn)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:   # noqa: BLE001 - typed error frame
@@ -286,6 +316,77 @@ class NetworkServer:
         with contextlib.suppress(ConnectionResetError, BrokenPipeError,
                                  RuntimeError):
             await self._send(writer, write_lock, response)
+
+
+class NetworkServer(FrameServerBase):
+    """Serve a :class:`~repro.serve.server.Server` over asyncio TCP.
+
+    Parameters
+    ----------
+    server:
+        The in-process serving stack to expose; a fresh
+        :class:`~repro.serve.server.Server` built from ``server_options``
+        when omitted.  The network server owns it either way and closes it
+        on :meth:`close`.
+    host, port:
+        Bind address.  ``port=0`` picks a free port — read
+        :attr:`address` (or the :meth:`start` return value) for the bound
+        one.
+    solve_workers:
+        Threads of the dedicated executor running histogram-only solves
+        and session opens (the paths that bypass the micro-batch queue).
+    shard_id:
+        Identity this server advertises in its ``hello`` frame, ``health``
+        responses and ``stats`` payloads — how aggregated cluster stats
+        attribute counters to shards.  Defaults to the bound
+        ``"host:port"`` while serving.
+    server_options:
+        Forwarded to :class:`~repro.serve.server.Server` when ``server``
+        is omitted.
+    """
+
+    _thread_name = "repro-net-server"
+
+    def __init__(self, server: Server | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 solve_workers: int = 4, shard_id: str | None = None,
+                 **server_options) -> None:
+        super().__init__(host=host, port=port)
+        self.server = server if server is not None else Server(**server_options)
+        self._shard_id = None if shard_id is None else str(shard_id)
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(solve_workers),
+            thread_name_prefix="repro-net-solve")
+
+    @property
+    def shard_id(self) -> str | None:
+        """The advertised shard identity (``None`` before binding unless
+        one was configured)."""
+        if self._shard_id is not None:
+            return self._shard_id
+        bound = self._bound
+        return f"{bound[0]}:{bound[1]}" if bound is not None else None
+
+    def _on_close(self, wait: bool) -> None:
+        self._executor.shutdown(wait=wait)
+        self.server.close(wait=wait)
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+    def _hello_response(self) -> dict:
+        return protocol.hello_frame(shard_id=self.shard_id)
+
+    def _new_connection(self) -> dict[str, ServerSession]:
+        return {}
+
+    async def _on_disconnect(self, sessions: dict[str, ServerSession]) -> None:
+        # close-on-disconnect: this connection's sessions die with it,
+        # so an abandoned client cannot pin the session table
+        for handle in sessions.values():
+            with contextlib.suppress(Exception):
+                handle.close()
+        sessions.clear()
 
     async def _respond(self, message: dict,
                        sessions: dict[str, ServerSession]) -> dict:
@@ -344,6 +445,18 @@ class NetworkServer:
             return protocol.session_closed_response(request_id, session_id)
 
         if kind == "stats":
-            return protocol.stats_response(request_id, self.server.stats())
+            stats = self.server.stats()
+            shard_id = self.shard_id
+            if shard_id is not None:
+                stats = dataclasses.replace(stats, shard_id=shard_id)
+            return protocol.stats_response(request_id, stats)
+
+        if kind == "health":
+            # straight off the event loop: no engine work, so the probe
+            # answers even while the batch queue is saturated
+            return protocol.health_response(
+                request_id, shard_id=self.shard_id,
+                sessions_open=self.server.session_count,
+                queue_depth=self.server.queue_depth)
 
         raise protocol.ProtocolError(f"unknown request type {kind!r}")

@@ -27,9 +27,11 @@ round-trip ``repr``, so a decoded transform applies to an image with the
 exact same output pixels as the original.
 
 **Messages.**  Version negotiation (``hello`` both ways, version
-:data:`PROTOCOL_VERSION`), the request types ``solve`` (histogram-only, the
-paper-native fast path), ``process`` (full image), ``open_session`` /
-``feed`` / ``close_session`` (the push-based stream surface) and ``stats``,
+:data:`PROTOCOL_VERSION`; a server that is part of a cluster identifies
+itself with a ``shard_id``), the request types ``solve`` (histogram-only,
+the paper-native fast path), ``process`` (full image), ``open_session`` /
+``feed`` / ``close_session`` (the push-based stream surface), ``stats``
+and ``health`` (the cheap liveness probe of the cluster router),
 with one response type each and a typed ``error`` frame.
 :func:`error_response` maps
 :class:`~repro.serve.coalescer.ServerOverloadedError` (with its structured
@@ -40,8 +42,16 @@ and :func:`exception_from_error` rebuilds the same typed exception on the
 client — so backpressure semantics survive the network hop instead of
 degenerating into a dropped connection.
 
+**Routing.**  :func:`routing_key` is the cluster routing key of a piece of
+content: the quantized grayscale-histogram signature of
+:func:`repro.api.cache.histogram_signature` — the same bytes the engine's
+solution cache is keyed on.  A ``process`` request may carry it pre-stamped
+(the ``routing`` field) so a router never has to decode pixels to place the
+request on the shard whose cache already holds its solution.
+
 :mod:`repro.serve.net` is the asyncio server speaking this protocol;
-:mod:`repro.client` is the SDK.
+:mod:`repro.client` is the SDK; :mod:`repro.cluster` is the
+consistent-hash router in front of many servers.
 """
 
 from __future__ import annotations
@@ -58,7 +68,7 @@ from repro.api.types import (
     CompensationSolution,
     StreamFrameResult,
 )
-from repro.api.cache import CacheStats
+from repro.api.cache import CacheStats, histogram_signature
 from repro.core.histogram import Histogram
 from repro.core.transforms import (
     GrayscaleShiftTransform,
@@ -92,6 +102,9 @@ __all__ = [
     "feed_request",
     "close_session_request",
     "stats_request",
+    "health_request",
+    "health_response",
+    "routing_key",
     "solution_response",
     "result_response",
     "session_response",
@@ -478,7 +491,9 @@ def server_stats_from_wire(wire: Mapping[str, Any]) -> ServerStats:
             sessions_closed=int(wire.get("sessions_closed", 0)),
             sessions_evicted=int(wire.get("sessions_evicted", 0)),
             session_frames=int(wire.get("session_frames", 0)),
-            sessions=sessions)
+            sessions=sessions,
+            shard_id=(None if wire.get("shard_id") is None
+                      else str(wire["shard_id"])))
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed stats payload: {exc}") from exc
 
@@ -486,9 +501,37 @@ def server_stats_from_wire(wire: Mapping[str, Any]) -> ServerStats:
 # --------------------------------------------------------------------- #
 # messages: handshake and requests
 # --------------------------------------------------------------------- #
-def hello_frame(version: int = PROTOCOL_VERSION) -> dict:
-    """The handshake message both ends open with."""
-    return {"type": "hello", "version": int(version)}
+def hello_frame(version: int = PROTOCOL_VERSION,
+                shard_id: str | None = None) -> dict:
+    """The handshake message both ends open with.
+
+    A server that is part of a cluster identifies itself with its
+    ``shard_id`` (the attribution key of aggregated cluster stats); the
+    key is omitted entirely when ``None``, so the plain v1 handshake
+    bytes are unchanged.
+    """
+    frame = {"type": "hello", "version": int(version)}
+    if shard_id is not None:
+        frame["shard_id"] = str(shard_id)
+    return frame
+
+
+def routing_key(source: Image | Histogram) -> bytes:
+    """The cluster routing key of a piece of content.
+
+    The quantized grayscale-histogram signature
+    (:func:`repro.api.cache.histogram_signature`) — exactly what the
+    engine's solution cache is keyed on, which is the whole argument for
+    content-hash routing: identical content always lands on the shard
+    whose cache already holds its solution.  An image and the histogram
+    of its grayscale rendition produce the same key, so ``solve`` and
+    ``process`` traffic for the same content co-locate.
+    """
+    if isinstance(source, Histogram):
+        histogram = source
+    else:
+        histogram = Histogram.of_image(source.to_grayscale())
+    return histogram_signature(histogram)
 
 
 def solve_request(request_id: int, source: Image | Histogram,
@@ -505,13 +548,24 @@ def solve_request(request_id: int, source: Image | Histogram,
 
 
 def process_request(request_id: int, image: Image, max_distortion: float,
-                    algorithm: str | None = None) -> dict:
+                    algorithm: str | None = None,
+                    routing: bytes | None = None) -> dict:
     """The full-image path: the server applies the solution and accounts
-    distortion and power."""
-    return {"type": "process", "id": int(request_id),
-            "image": image_to_wire(image),
-            "max_distortion": float(max_distortion),
-            "algorithm": algorithm}
+    distortion and power.
+
+    ``routing`` optionally pre-stamps the :func:`routing_key` of the
+    image (hex on the wire), so a cluster router can place the request
+    without decoding pixels on its event loop.  Servers ignore it; an
+    un-stamped request routes fine — the router derives the key itself,
+    off-loop.
+    """
+    message = {"type": "process", "id": int(request_id),
+               "image": image_to_wire(image),
+               "max_distortion": float(max_distortion),
+               "algorithm": algorithm}
+    if routing is not None:
+        message["routing"] = bytes(routing).hex()
+    return message
 
 
 def open_session_request(request_id: int, max_distortion: float,
@@ -541,6 +595,13 @@ def close_session_request(request_id: int, session_id: str) -> dict:
 
 def stats_request(request_id: int) -> dict:
     return {"type": "stats", "id": int(request_id)}
+
+
+def health_request(request_id: int) -> dict:
+    """The liveness probe of the cluster router: answered straight off
+    the event loop, no engine work — a shard that cannot answer it
+    within the probe timeout is marked down."""
+    return {"type": "health", "id": int(request_id)}
 
 
 # --------------------------------------------------------------------- #
@@ -576,6 +637,17 @@ def stats_response(request_id: int,
                    stats: ServerStats | Mapping[str, Any]) -> dict:
     payload = stats.as_dict() if isinstance(stats, ServerStats) else stats
     return {"type": "stats", "id": int(request_id), "stats": dict(payload)}
+
+
+def health_response(request_id: int, shard_id: str | None = None,
+                    status: str = "ok", sessions_open: int = 0,
+                    queue_depth: int = 0) -> dict:
+    """Answer to a ``health`` probe: identity plus two cheap load gauges."""
+    return {"type": "health", "id": int(request_id),
+            "shard_id": None if shard_id is None else str(shard_id),
+            "status": str(status),
+            "sessions_open": int(sessions_open),
+            "queue_depth": int(queue_depth)}
 
 
 # --------------------------------------------------------------------- #

@@ -147,6 +147,11 @@ class ServerStats:
     sessions:
         Per-session frame telemetry, keyed by session id (most recent
         sessions; bounded).
+    shard_id:
+        Identity of the serving shard this snapshot came from, for
+        attribution inside aggregated cluster stats.  ``None`` for an
+        in-process server; :class:`~repro.serve.net.NetworkServer` stamps
+        its shard id onto the snapshots it sends over the wire.
     """
 
     submitted: int
@@ -169,6 +174,7 @@ class ServerStats:
     sessions_evicted: int = 0
     session_frames: int = 0
     sessions: Mapping[str, SessionFrameStats] = field(default_factory=dict)
+    shard_id: str | None = None
 
     @property
     def in_flight(self) -> int:
@@ -186,6 +192,7 @@ class ServerStats:
         :class:`ServerStats` from it on the client side.
         """
         return json_ready({
+            "shard_id": self.shard_id,
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,

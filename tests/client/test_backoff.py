@@ -1,0 +1,92 @@
+"""Tests for the jittered exponential back-off (repro.client.backoff).
+
+Deterministic via an injected RNG — the jitter exists so a herd of
+clients dropped by the same server restart spreads out instead of
+reconnecting in lockstep, and the tests pin exactly how much of each
+delay the jitter may take away.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.client import Backoff, Client
+
+
+class _FixedRng:
+    """An rng whose ``random()`` returns a scripted sequence."""
+
+    def __init__(self, *values: float) -> None:
+        self._values = list(values)
+        self._index = 0
+
+    def random(self) -> float:
+        value = self._values[self._index % len(self._values)]
+        self._index += 1
+        return value
+
+
+class TestSchedule:
+    def test_exponential_doubling_without_jitter(self):
+        backoff = Backoff(0.1, 2.0, jitter=0.0)
+        assert [backoff.delay(attempt) for attempt in range(5)] == \
+            pytest.approx([0.1, 0.2, 0.4, 0.8, 1.6])
+
+    def test_capped_at_maximum(self):
+        backoff = Backoff(0.1, 0.5, jitter=0.0)
+        assert backoff.delay(10) == pytest.approx(0.5)
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            Backoff(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            Backoff(0.1, -1.0)
+        with pytest.raises(ValueError):
+            Backoff(0.1, 1.0, jitter=1.5)
+        with pytest.raises(ValueError):
+            Backoff(0.1, 1.0, jitter=-0.1)
+
+
+class TestJitter:
+    def test_jitter_is_deterministic_with_an_injected_rng(self):
+        # rng.random() == 0.5 and jitter 0.5 shave exactly 25% off
+        backoff = Backoff(0.1, 2.0, jitter=0.5, rng=_FixedRng(0.5))
+        assert backoff.delay(0) == pytest.approx(0.1 * 0.75)
+        assert backoff.delay(1) == pytest.approx(0.2 * 0.75)
+
+    def test_jitter_only_shortens_never_lengthens(self):
+        # full jitter at rng=1.0 halves the delay; rng=0.0 leaves it be
+        backoff = Backoff(0.1, 2.0, jitter=0.5, rng=_FixedRng(1.0, 0.0))
+        assert backoff.delay(2) == pytest.approx(0.4 * 0.5)
+        assert backoff.delay(2) == pytest.approx(0.4)
+
+    def test_bounds_hold_for_any_rng_value(self):
+        backoff = Backoff(0.1, 2.0, jitter=0.5, rng=random.Random(1234))
+        for attempt in range(8):
+            delay = backoff.delay(attempt)
+            ceiling = min(0.1 * 2 ** attempt, 2.0)
+            assert 0.5 * ceiling <= delay <= ceiling
+
+    def test_two_rngs_decorrelate_two_clients(self):
+        # the point of the jitter: same schedule, different draws
+        first = Backoff(0.1, 2.0, jitter=0.5, rng=random.Random(1))
+        second = Backoff(0.1, 2.0, jitter=0.5, rng=random.Random(2))
+        delays = [(first.delay(attempt), second.delay(attempt))
+                  for attempt in range(4)]
+        assert any(a != b for a, b in delays)
+
+
+class TestClientIntegration:
+    def test_client_exposes_jitter_knobs(self):
+        client = Client(port=1, jitter=0.25, rng=_FixedRng(1.0))
+        try:
+            assert client._backoff.delay(0) == \
+                pytest.approx(client.backoff * 0.75)
+        finally:
+            client.close()
+
+    def test_client_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            Client(port=1, jitter=2.0)

@@ -1,0 +1,127 @@
+"""CLI tests for the serving entry points that bind real sockets.
+
+Subprocess tests: the readiness lines of ``repro serve --port 0`` and
+``repro cluster`` are a contract — scripts (and the CI smoke test) parse
+them to learn the actual bound port, so they must carry the real port
+and be flushed before the first connection attempt.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parents[2]
+
+READY_SERVE = re.compile(r"serving on ([\d.]+):(\d+) \(protocol v1\)")
+READY_CLUSTER = re.compile(
+    r"cluster serving on ([\d.]+):(\d+) over (\d+) shards? \(protocol v1\)")
+
+
+def spawn(*args: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(REPO))
+
+
+def await_ready(process: subprocess.Popen, pattern: re.Pattern,
+                timeout: float = 60.0) -> re.Match:
+    """Read stdout lines until the readiness line appears (the line must
+    be flushed — an unflushed buffer would hang right here)."""
+    deadline = time.monotonic() + timeout
+    lines: list[str] = []
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        lines.append(line)
+        match = pattern.search(line)
+        if match:
+            return match
+    process.kill()
+    raise AssertionError(f"no readiness line in {lines!r}")
+
+
+def stop(process: subprocess.Popen) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=10.0)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=10.0)
+
+
+class TestServeEphemeralPort:
+    def test_port_zero_prints_the_actual_bound_port(self, lena):
+        from repro.client import Client
+        from repro.core.histogram import Histogram
+
+        process = spawn("serve", "--port", "0", "--no-warmup")
+        try:
+            match = await_ready(process, READY_SERVE)
+            host, port = match.group(1), int(match.group(2))
+            # --port 0 delegates picking to the kernel: the line must
+            # carry the ephemeral port, not the 0 placeholder
+            assert port != 0
+            with Client(host=host, port=port, timeout=30.0) as client:
+                solution = client.solve(Histogram.of_image(lena), 10.0)
+            assert 0.0 < solution.backlight_factor <= 1.0
+        finally:
+            stop(process)
+
+
+class TestClusterCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["cluster", "--shards", "127.0.0.1:7095,127.0.0.1:7097"])
+        assert args.shards == "127.0.0.1:7095,127.0.0.1:7097"
+        assert args.port == 0
+        assert args.replicas == 64
+        assert args.markdown_after == 2
+
+    def test_shards_required(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster"])
+        capsys.readouterr()
+
+    def test_cluster_routes_to_spawned_shards(self, lena, pout):
+        from repro.client import Client
+        from repro.core.histogram import Histogram
+
+        shard_processes = [spawn("serve", "--port", "0", "--no-warmup")
+                           for _ in range(2)]
+        router_process = None
+        try:
+            addresses = []
+            for process in shard_processes:
+                match = await_ready(process, READY_SERVE)
+                addresses.append(f"{match.group(1)}:{match.group(2)}")
+            router_process = spawn("cluster", "--shards",
+                                   ",".join(addresses), "--port", "0")
+            match = await_ready(router_process, READY_CLUSTER)
+            host, port = match.group(1), int(match.group(2))
+            assert int(match.group(3)) == 2
+            with Client(host=host, port=port, timeout=30.0) as client:
+                solution = client.solve(Histogram.of_image(lena), 10.0)
+                assert 0.0 < solution.backlight_factor <= 1.0
+                result = client.process(pout, 10.0)
+                assert result.output.shape == pout.shape
+                payload = client.stats_dict()
+                assert payload["shard_id"] == "cluster"
+                assert payload["cluster"]["shards_configured"] == 2
+        finally:
+            if router_process is not None:
+                stop(router_process)
+            for process in shard_processes:
+                stop(process)

@@ -1,0 +1,125 @@
+"""Tests for cluster-wide stats aggregation (repro.cluster.stats)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.stats import ClusterCounters, aggregate_stats
+from repro.serve.protocol import server_stats_from_wire
+
+
+def shard_payload(shard_id: str, *, completed: int = 10, hits: int = 6,
+                  misses: int = 4, throughput: float = 100.0,
+                  latency_mean: float = 5.0, elapsed: float = 2.0,
+                  sessions: dict | None = None) -> dict:
+    """A minimal but shape-faithful ``ServerStats.as_dict`` payload."""
+    return {
+        "shard_id": shard_id,
+        "submitted": completed, "completed": completed, "failed": 0,
+        "rejected": 0, "batches": completed, "mean_batch_size": 1.0,
+        "queue_depth": 0,
+        "elapsed_seconds": elapsed, "throughput_rps": throughput,
+        "latency_mean_ms": latency_mean, "latency_p50_ms": latency_mean,
+        "latency_p95_ms": latency_mean * 2, "latency_p99_ms": latency_mean * 3,
+        "sessions_open": len(sessions or {}), "sessions_opened": 0,
+        "sessions_closed": 0, "sessions_evicted": 0, "session_frames": 0,
+        "cache_hits": hits, "cache_misses": misses, "cache_replays": 0,
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "cache_reuse_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "cache_size": misses, "cache_max_size": 512, "cache_evictions": 0,
+        "sessions": dict(sessions or {}),
+    }
+
+
+class TestAggregateStats:
+    def test_counters_sum_across_shards(self):
+        merged = aggregate_stats({
+            "a": shard_payload("a", completed=10, hits=6, misses=4),
+            "b": shard_payload("b", completed=30, hits=24, misses=6),
+        })
+        assert merged["completed"] == 40
+        assert merged["cache_hits"] == 30
+        assert merged["cache_misses"] == 10
+        assert merged["shard_id"] == "cluster"
+
+    def test_rates_recomputed_from_summed_counters(self):
+        # NOT the mean of per-shard rates: a busy shard weighs more
+        merged = aggregate_stats({
+            "a": shard_payload("a", hits=0, misses=10),
+            "b": shard_payload("b", hits=90, misses=0),
+        })
+        assert merged["cache_hit_rate"] == pytest.approx(0.9)
+
+    def test_throughput_sums_and_elapsed_maxes(self):
+        merged = aggregate_stats({
+            "a": shard_payload("a", throughput=100.0, elapsed=2.0),
+            "b": shard_payload("b", throughput=150.0, elapsed=5.0),
+        })
+        assert merged["throughput_rps"] == pytest.approx(250.0)
+        assert merged["elapsed_seconds"] == pytest.approx(5.0)
+
+    def test_latency_is_completion_weighted(self):
+        merged = aggregate_stats({
+            "a": shard_payload("a", completed=10, latency_mean=10.0),
+            "b": shard_payload("b", completed=30, latency_mean=2.0),
+        })
+        assert merged["latency_mean_ms"] == pytest.approx(4.0)
+
+    def test_sessions_namespaced_by_shard(self):
+        # shard-local session ids collide across shards ("s00000" on
+        # both); the merged view must keep them attributable
+        entry = {"frames": 3, "latency_mean_ms": 1.0}
+        merged = aggregate_stats({
+            "a": shard_payload("a", sessions={"s00000": entry}),
+            "b": shard_payload("b", sessions={"s00000": entry}),
+        })
+        assert set(merged["sessions"]) == {"a/s00000", "b/s00000"}
+
+    def test_per_shard_payloads_preserved(self):
+        merged = aggregate_stats({"a": shard_payload("a", completed=7)})
+        assert merged["shards"]["a"]["completed"] == 7
+
+    def test_cluster_key_carries_router_info(self):
+        merged = aggregate_stats({}, cluster={"shards_up": 2})
+        assert merged["cluster"] == {"shards_up": 2}
+
+    def test_empty_cluster_aggregates_to_zeros(self):
+        merged = aggregate_stats({})
+        assert merged["completed"] == 0
+        assert merged["cache_hit_rate"] == 0.0
+        assert merged["elapsed_seconds"] == 0.0
+
+    def test_json_round_trips(self):
+        merged = aggregate_stats({
+            "a": shard_payload("a"), "b": shard_payload("b"),
+        }, cluster={"routed": {"a": 3}})
+        assert json.loads(json.dumps(merged)) == merged
+
+    def test_existing_clients_can_rebuild_server_stats(self):
+        # the contract that keeps `Client.stats()` and loadtest working
+        # against a router unchanged: the merged payload is a superset
+        # of a single server's
+        merged = aggregate_stats({
+            "a": shard_payload("a", completed=10),
+            "b": shard_payload("b", completed=20),
+        })
+        rebuilt = server_stats_from_wire(merged)
+        assert rebuilt.completed == 30
+        assert rebuilt.shard_id == "cluster"
+
+
+class TestClusterCounters:
+    def test_as_dict_shape(self):
+        counters = ClusterCounters()
+        counters.routed["b"] += 2
+        counters.routed["a"] += 1
+        counters.sessions_routed["a"] += 1
+        counters.failovers += 1
+        payload = counters.as_dict()
+        assert payload == {"routed": {"a": 1, "b": 2},
+                           "sessions_routed": {"a": 1},
+                           "failovers": 1}
+        assert list(payload["routed"]) == ["a", "b"]
+        json.dumps(payload)

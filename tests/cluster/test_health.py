@@ -1,0 +1,71 @@
+"""Tests for the shard mark-down/mark-up state machine
+(repro.cluster.health)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.health import ShardHealth
+
+
+class TestMarkdown:
+    def test_starts_up(self):
+        assert ShardHealth("shard").up
+
+    def test_single_probe_failure_keeps_it_up(self):
+        # one dropped packet must not evict a warm cache's keyspace
+        health = ShardHealth("shard", markdown_after=2)
+        assert health.note_failure() is False
+        assert health.up
+
+    def test_consecutive_probe_failures_mark_down(self):
+        health = ShardHealth("shard", markdown_after=2)
+        health.note_failure()
+        assert health.note_failure() is True
+        assert not health.up
+        assert health.markdowns == 1
+
+    def test_success_resets_the_streak(self):
+        health = ShardHealth("shard", markdown_after=2)
+        health.note_failure()
+        health.note_success()
+        health.note_failure()
+        assert health.up
+
+    def test_hard_failure_marks_down_immediately(self):
+        # live-traffic connection failure: don't wait for probes
+        health = ShardHealth("shard", markdown_after=5)
+        assert health.note_failure(hard=True) is True
+        assert not health.up
+
+    def test_failures_while_down_do_not_recount(self):
+        health = ShardHealth("shard", markdown_after=1)
+        health.note_failure()
+        assert health.note_failure() is False
+        assert health.markdowns == 1
+
+    def test_markdown_after_validated(self):
+        with pytest.raises(ValueError):
+            ShardHealth("shard", markdown_after=0)
+
+
+class TestMarkup:
+    def test_success_marks_back_up(self):
+        health = ShardHealth("shard", markdown_after=1)
+        health.note_failure()
+        assert health.note_success() is True
+        assert health.up
+        assert health.markups == 1
+
+    def test_success_while_up_is_not_a_transition(self):
+        health = ShardHealth("shard")
+        assert health.note_success() is False
+        assert health.markups == 0
+
+    def test_flapping_counts_every_transition(self):
+        health = ShardHealth("shard", markdown_after=1)
+        for _ in range(3):
+            health.note_failure()
+            health.note_success()
+        assert health.markdowns == 3
+        assert health.markups == 3

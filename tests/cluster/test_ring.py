@@ -1,0 +1,124 @@
+"""Tests for the consistent-hash ring (repro.cluster.ring).
+
+The properties that make the cluster work are all here: deterministic
+placement (restarted routers must agree), near-uniform key distribution
+(virtual nodes), the 1/N remap bound under membership change, and the
+walk-equals-failover consistency that lets the router skip a down shard
+without remapping anyone else's keys.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+
+SHARDS = ["10.0.0.1:7095", "10.0.0.2:7095", "10.0.0.3:7095",
+          "10.0.0.4:7095"]
+
+
+def keys(count: int) -> list[bytes]:
+    return [f"key-{index}".encode() for index in range(count)]
+
+
+class TestConstruction:
+    def test_starts_with_the_given_nodes(self):
+        ring = HashRing(SHARDS)
+        assert len(ring) == 4
+        assert ring.nodes == tuple(sorted(SHARDS))
+        assert all(shard in ring for shard in SHARDS)
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_default_replicas(self):
+        assert HashRing(SHARDS).replicas == DEFAULT_REPLICAS
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(SHARDS)
+        ring.add(SHARDS[0])
+        assert len(ring) == 4
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            HashRing(SHARDS).remove("not-a-member")
+
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        assert ring.node_for(b"anything") is None
+        assert list(ring.preference(b"anything")) == []
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        # ring placement must agree between router restarts: blake2b,
+        # not the per-process-salted hash()
+        first = HashRing(SHARDS)
+        second = HashRing(list(reversed(SHARDS)))
+        for key in keys(200):
+            assert first.node_for(key) == second.node_for(key)
+
+    def test_str_and_bytes_keys_agree(self):
+        ring = HashRing(SHARDS)
+        assert ring.node_for("some-key") == ring.node_for(b"some-key")
+
+    def test_distribution_is_roughly_uniform(self):
+        ring = HashRing(SHARDS)
+        counts = {shard: 0 for shard in SHARDS}
+        for key in keys(4000):
+            counts[ring.node_for(key)] += 1
+        # with 64 vnodes each shard's share stays within ~2x of fair
+        for count in counts.values():
+            assert 0.5 * 1000 < count < 2.0 * 1000
+
+    def test_preference_yields_each_node_once(self):
+        ring = HashRing(SHARDS)
+        for key in keys(50):
+            order = list(ring.preference(key))
+            assert sorted(order) == sorted(SHARDS)
+            assert order[0] == ring.node_for(key)
+
+
+class TestMembershipChange:
+    def test_removal_remaps_only_the_removed_nodes_keys(self):
+        full = HashRing(SHARDS)
+        gone = SHARDS[1]
+        reduced = HashRing([shard for shard in SHARDS if shard != gone])
+        for key in keys(1000):
+            before = full.node_for(key)
+            after = reduced.node_for(key)
+            if before == gone:
+                # the dead shard's keys fall to the next on the walk
+                assert after != gone
+            else:
+                assert after == before
+
+    def test_remap_fraction_close_to_one_over_n(self):
+        full = HashRing(SHARDS)
+        gone = SHARDS[0]
+        sample = keys(4000)
+        remapped = sum(full.node_for(key) == gone for key in sample)
+        # expected 1/4; allow generous slack for hash variance
+        assert remapped / len(sample) < 0.5
+
+    def test_walk_equals_failover(self):
+        # skipping a down node on the walk == removing it from the ring;
+        # this identity is what makes router failover consistent
+        full = HashRing(SHARDS)
+        down = SHARDS[2]
+        reduced = HashRing([shard for shard in SHARDS if shard != down])
+        for key in keys(500):
+            walked = full.node_for(key, alive=lambda node: node != down)
+            assert walked == reduced.node_for(key)
+
+    def test_add_then_remove_restores_placement(self):
+        ring = HashRing(SHARDS)
+        before = {key: ring.node_for(key) for key in keys(300)}
+        ring.add("10.0.0.9:7095")
+        ring.remove("10.0.0.9:7095")
+        assert {key: ring.node_for(key) for key in before} == before
+
+    def test_node_for_with_no_alive_nodes(self):
+        ring = HashRing(SHARDS)
+        assert ring.node_for(b"key", alive=lambda node: False) is None

@@ -97,3 +97,42 @@ class TestServerStatsJsonRoundTrip:
         assert set(rebuilt.sessions) == set(snapshot.sessions)
         assert rebuilt.sessions["s00000"].frames == \
             snapshot.sessions["s00000"].frames
+
+
+class TestShardIdAttribution:
+    """``shard_id`` attributes a snapshot to a cluster shard — ``None``
+    for an in-process server, stamped by ``NetworkServer``."""
+
+    def _snapshot(self) -> ServerStats:
+        recorder = StatsRecorder()
+        recorder.note_submitted()
+        recorder.note_completed(0.01)
+        cache = CacheStats(hits=0, misses=1, size=1, max_size=8,
+                           evictions=0, replays=0)
+        return recorder.snapshot(cache=cache, queue_depth=0,
+                                 sessions_open=0)
+
+    def test_in_process_snapshot_has_no_shard_id(self):
+        snapshot = self._snapshot()
+        assert snapshot.shard_id is None
+        payload = snapshot.as_dict()
+        assert "shard_id" in payload
+        assert payload["shard_id"] is None
+        json.dumps(payload)
+
+    def test_shard_id_survives_the_wire_round_trip(self):
+        import dataclasses
+
+        from repro.serve.protocol import server_stats_from_wire
+
+        stamped = dataclasses.replace(self._snapshot(),
+                                      shard_id="127.0.0.1:7095")
+        payload = json.loads(json.dumps(stamped.as_dict()))
+        rebuilt = server_stats_from_wire(payload)
+        assert rebuilt.shard_id == "127.0.0.1:7095"
+
+    def test_none_shard_id_survives_the_wire_round_trip(self):
+        from repro.serve.protocol import server_stats_from_wire
+
+        payload = json.loads(json.dumps(self._snapshot().as_dict()))
+        assert server_stats_from_wire(payload).shard_id is None
