@@ -49,7 +49,7 @@ def main(argv: list[str]) -> None:
     server = Server(engine=default_engine(), workers=4)
     network = NetworkServer(server)
     host, port = network.start()
-    print(f"server            : listening on {host}:{port} (protocol v1)")
+    print(f"server            : listening on {host}:{port} (protocol v1+v2)")
     primed = server.warmup(suite, budgets=(budget,))
     print(f"warm-up           : {primed} solutions pre-solved")
     print()

@@ -342,7 +342,7 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
         host, port = net.address
         # a parseable, flushed readiness line: scripts (and the CI smoke
         # test) wait for it before connecting
-        _print(f"serving on {host}:{port} (protocol v1); Ctrl-C to stop")
+        _print(f"serving on {host}:{port} (protocol v1+v2); Ctrl-C to stop")
         sys.stdout.flush()
 
     try:
@@ -372,7 +372,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         host, port = router.address
         # same parseable, flushed readiness contract as `repro serve --port`
         _print(f"cluster serving on {host}:{port} over {len(shards)} "
-               f"shard{'s' if len(shards) != 1 else ''} (protocol v1); "
+               f"shard{'s' if len(shards) != 1 else ''} (protocol v1+v2); "
                f"Ctrl-C to stop")
         sys.stdout.flush()
 

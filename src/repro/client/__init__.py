@@ -16,7 +16,17 @@ speaking the wire protocol of :mod:`repro.serve.protocol` to a
     ``open_session`` — a push-based :class:`RemoteSession` /
     :class:`AsyncRemoteSession` matching the
     :class:`~repro.api.session.StreamSession` surface;
-    ``stats`` — the server's live statistics snapshot.
+    ``stats`` — the server's live statistics snapshot;
+    ``pipeline`` (sync) — a :class:`ClientPipeline` batch context with
+    multiple requests in flight on one socket, correlated by id (the
+    :class:`AsyncClient` multiplexes concurrent ``await``-ers the same
+    way without a dedicated context).
+
+    Connections negotiate the newest shared protocol generation
+    (binary zero-copy v2 frames against this build's servers, v1 JSON
+    against older ones — see :attr:`Client.protocol_version`), and
+    ``Client(shm=True)`` offers the same-host shared-memory lane of
+    :mod:`repro.serve.shm` for image payloads.
 
     Lost connections reconnect with jittered exponential back-off
     (:class:`Backoff` — a herd of clients dropped by the same restart
@@ -51,13 +61,17 @@ from repro.client.aio import AsyncClient, AsyncRemoteSession
 from repro.client.backoff import Backoff
 from repro.client.sync import (
     Client,
+    ClientPipeline,
     LocalCompensation,
+    PendingReply,
     RemoteSession,
     parse_address,
 )
 
 __all__ = [
     "Client",
+    "ClientPipeline",
+    "PendingReply",
     "AsyncClient",
     "Backoff",
     "RemoteSession",

@@ -7,15 +7,25 @@ the same typed exceptions, the same reconnect-with-backoff and
 retry-after honoring — with every call awaitable, so one event loop can
 drive many concurrent clients (each with its own connection).
 
-Requests on one :class:`AsyncClient` are serialized by an internal lock
-(one in-flight request per connection keeps the response correlation
-trivial); open several clients for concurrency, as
-``examples/remote_client.py`` shows.
+Concurrent calls on **one** :class:`AsyncClient` are multiplexed over a
+single connection: every request carries a fresh id, a background reader
+task routes each reply to its awaiting caller, and replies may arrive in
+server completion order.  This is the asyncio shape of
+:meth:`Client.pipeline <repro.client.sync.Client.pipeline>` — just
+``asyncio.gather`` the calls; no dedicated batch context is needed.
+
+Like the sync client, the hello advertises ``max_version`` and the
+server's pick lands on :attr:`AsyncClient.protocol_version`: requests and
+responses travel as binary zero-copy v2 frames
+(:mod:`repro.serve.wire2`) against this build's servers and fall back to
+v1 JSON against older ones.  The same-host shared-memory lane is
+lockstep-only and stays on the sync client.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from typing import Any, Mapping
 
 from repro.api.types import (
@@ -26,7 +36,7 @@ from repro.api.types import (
 from repro.api.session import SessionClosedError
 from repro.core.histogram import Histogram
 from repro.imaging.image import Image
-from repro.serve import protocol
+from repro.serve import protocol, wire2
 from repro.serve.coalescer import ServerOverloadedError
 from repro.serve.net import DEFAULT_PORT
 from repro.serve.stats import ServerStats
@@ -67,10 +77,13 @@ class AsyncRemoteSession:
             raise SessionClosedError(
                 f"remote session {self._id} has been closed")
         response = await self._client._request(
-            lambda request_id: protocol.feed_request(request_id, self._id,
-                                                     frame),
+            lambda request_id, binary: protocol.feed_request(
+                request_id, self._id, frame, binary=binary),
             expected="frame", reconnect=False)
-        return protocol.stream_frame_from_wire(response["outcome"])
+        wire = response["outcome"]
+        original = (None if "original" in wire.get("result", {})
+                    else frame.to_grayscale())
+        return protocol.stream_frame_from_wire(wire, original=original)
 
     async def close(self) -> None:
         """Close the remote session (idempotent, best-effort on a dead
@@ -80,7 +93,7 @@ class AsyncRemoteSession:
         self._closed = True
         try:
             await self._client._request(
-                lambda request_id: protocol.close_session_request(
+                lambda request_id, binary: protocol.close_session_request(
                     request_id, self._id),
                 expected="session_closed", reconnect=False)
         except (ConnectionError, OSError):
@@ -97,16 +110,30 @@ class AsyncClient:
     """Asyncio client for a :class:`~repro.serve.net.NetworkServer`.
 
     Same parameters and retry policy as
-    :class:`repro.client.sync.Client`; every RPC is a coroutine.
+    :class:`repro.client.sync.Client`; every RPC is a coroutine, and
+    concurrent calls on one client are pipelined over one connection
+    (correlated by request id, so ``asyncio.gather`` keeps the socket
+    full).
+
+    Attributes
+    ----------
+    protocol_version:
+        The generation negotiated on the current connection (``None``
+        while disconnected); see ``max_version``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                  timeout: float = 60.0, retries: int = 3,
                  backoff: float = 0.1, max_backoff: float = 2.0,
                  jitter: float = 0.5, rng=None,
-                 retry_overloaded: bool = True) -> None:
+                 retry_overloaded: bool = True,
+                 max_version: int = protocol.PROTOCOL_VERSION) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if not protocol.PROTOCOL_V1 <= int(max_version) <= protocol.PROTOCOL_VERSION:
+            raise ValueError(
+                f"max_version must be within [{protocol.PROTOCOL_V1}, "
+                f"{protocol.PROTOCOL_VERSION}], got {max_version}")
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
@@ -114,11 +141,21 @@ class AsyncClient:
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
         self.retry_overloaded = bool(retry_overloaded)
+        self.max_version = int(max_version)
+        self.protocol_version: int | None = None
         self._backoff = Backoff(backoff, max_backoff, jitter=jitter, rng=rng)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
-        self._lock = asyncio.Lock()
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._conn_lock = asyncio.Lock()
+        self._write_lock = asyncio.Lock()
         self._next_id = 0
+
+    def __repr__(self) -> str:
+        state = (f"protocol v{self.protocol_version}"
+                 if self.protocol_version is not None else "disconnected")
+        return f"AsyncClient({self.host}:{self.port}, {state})"
 
     @classmethod
     def at(cls, address: str, **options) -> "AsyncClient":
@@ -134,7 +171,7 @@ class AsyncClient:
         """Histogram-only solve (see
         :meth:`Client.solve <repro.client.sync.Client.solve>`)."""
         response = await self._request(
-            lambda request_id: protocol.solve_request(
+            lambda request_id, binary: protocol.solve_request(
                 request_id, source, max_distortion, algorithm=algorithm),
             expected="solution")
         return protocol.solution_from_wire(response["solution"])
@@ -155,18 +192,22 @@ class AsyncClient:
         :meth:`Client.process <repro.client.sync.Client.process>`)."""
         routing = protocol.routing_key(image)
         response = await self._request(
-            lambda request_id: protocol.process_request(
+            lambda request_id, binary: protocol.process_request(
                 request_id, image, max_distortion, algorithm=algorithm,
-                routing=routing),
+                routing=routing, binary=binary),
             expected="result")
-        return protocol.result_from_wire(response["result"])
+        wire = response["result"]
+        # a v2 response omits the original image — it is the grayscale
+        # rendition of the request image, rebuilt here bit-exactly
+        original = None if "original" in wire else image.to_grayscale()
+        return protocol.result_from_wire(wire, original=original)
 
     async def open_session(self, max_distortion: float,
                            algorithm: str | None = None,
                            **options: Any) -> AsyncRemoteSession:
         """Open a push-based stream session on the server."""
         response = await self._request(
-            lambda request_id: protocol.open_session_request(
+            lambda request_id, binary: protocol.open_session_request(
                 request_id, max_distortion, algorithm=algorithm,
                 options=options),
             expected="session")
@@ -175,14 +216,16 @@ class AsyncClient:
 
     async def stats(self) -> ServerStats:
         """The server's live statistics snapshot."""
-        response = await self._request(protocol.stats_request,
-                                       expected="stats")
+        response = await self._request(
+            lambda request_id, binary: protocol.stats_request(request_id),
+            expected="stats")
         return protocol.server_stats_from_wire(response["stats"])
 
     async def stats_dict(self) -> Mapping[str, Any]:
         """The raw JSON payload of the ``stats`` RPC."""
-        response = await self._request(protocol.stats_request,
-                                       expected="stats")
+        response = await self._request(
+            lambda request_id, binary: protocol.stats_request(request_id),
+            expected="stats")
         return response["stats"]
 
     # ------------------------------------------------------------------ #
@@ -193,37 +236,57 @@ class AsyncClient:
         return self._writer is not None
 
     async def connect(self) -> None:
-        """Connect and handshake now (otherwise done lazily)."""
-        if self._writer is not None:
-            return
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port), self.timeout)
-        try:
-            writer.write(protocol.encode_frame(protocol.hello_frame()))
-            await writer.drain()
-            hello = await asyncio.wait_for(self._read_frame(reader),
-                                           self.timeout)
-            if hello.get("type") == "error":
-                raise protocol.exception_from_error(hello)
-            if (hello.get("type") != "hello"
-                    or hello.get("version") != protocol.PROTOCOL_VERSION):
-                raise protocol.ProtocolError(
-                    f"server answered the handshake with "
-                    f"{hello.get('type')!r} v{hello.get('version')!r}")
-        except BaseException:
-            writer.close()
-            raise
-        self._reader, self._writer = reader, writer
+        """Connect and handshake now (otherwise done lazily).
+
+        The hello advertises ``[1, max_version]``; the server's pick
+        lands on :attr:`protocol_version`.  Also starts the background
+        reader task that routes multiplexed replies by request id.
+        """
+        async with self._conn_lock:
+            if self._writer is not None:
+                return
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout)
+            try:
+                writer.write(protocol.encode_frame(
+                    protocol.hello_frame(max_version=self.max_version)))
+                await writer.drain()
+                hello = await asyncio.wait_for(
+                    self._read_message(reader), self.timeout)
+                if hello.get("type") == "error":
+                    raise protocol.exception_from_error(hello)
+                version = hello.get("version")
+                if (hello.get("type") != "hello"
+                        or not isinstance(version, int)
+                        or not (protocol.PROTOCOL_V1 <= version
+                                <= self.max_version)):
+                    raise protocol.ProtocolError(
+                        f"server answered the handshake with "
+                        f"{hello.get('type')!r} v{version!r}")
+            except BaseException:
+                writer.close()
+                raise
+            self._reader, self._writer = reader, writer
+            self.protocol_version = int(version)
+            self._reader_task = asyncio.create_task(self._read_loop(reader))
 
     async def close(self) -> None:
-        """Drop the connection (idempotent)."""
+        """Drop the connection (idempotent).  Every in-flight request
+        fails with :class:`ConnectionError`."""
+        task, self._reader_task = self._reader_task, None
         writer, self._reader, self._writer = self._writer, None, None
+        self.protocol_version = None
+        if task is not None:
+            task.cancel()
+            with contextlib.suppress(BaseException):
+                await task
         if writer is not None:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+        self._fail_pending(ConnectionError("the connection was closed"))
 
     async def __aenter__(self) -> "AsyncClient":
         await self.connect()
@@ -235,57 +298,97 @@ class AsyncClient:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
-    async def _read_frame(self, reader: asyncio.StreamReader) -> dict:
+    async def _read_message(self, reader: asyncio.StreamReader) -> dict:
         header = await reader.readexactly(protocol.HEADER_BYTES)
         payload = await reader.readexactly(protocol.frame_length(header))
-        return protocol.decode_frame(payload)
+        # decode by sniff: a negotiated-v2 connection carries v2 binary
+        # frames, but the hello (and any v1 fallback) is plain JSON
+        return wire2.decode_any(payload)[1]
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        """Route each incoming reply to the future awaiting its id."""
+        try:
+            while True:
+                message = await self._read_message(reader)
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None:
+                    if not future.done():
+                        future.set_result(message)
+                elif (message.get("type") == "error"
+                        and message.get("id") is None):
+                    # a connection-level error frame addresses everyone
+                    self._fail_pending(protocol.exception_from_error(message))
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError, EOFError,
+                asyncio.IncompleteReadError, protocol.ProtocolError) as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError(
+                    f"lost connection to {self.host}:{self.port} ({exc})"))
+
+    def _encode(self, message: dict) -> bytes:
+        if (self.protocol_version or protocol.PROTOCOL_V1) >= 2:
+            return wire2.encode_frame(message)
+        return protocol.encode_frame(message)
 
     async def _request(self, build, expected: str,
                        reconnect: bool = True) -> dict:
-        """One serialized request/response round trip (same retry policy
-        as the sync client)."""
-        async with self._lock:
-            attempt = 0
-            while True:
+        """One multiplexed request/response round trip (same retry policy
+        as the sync client).  ``build`` is called with a fresh request id
+        and the negotiated codec's ``binary`` flag on every attempt, so a
+        retry after a reconnect re-encodes for the new connection's
+        protocol version."""
+        attempt = 0
+        while True:
+            try:
+                await self.connect()
+                writer = self._writer
+                if writer is None:   # raced with a concurrent close()
+                    raise ConnectionError("the connection was closed")
                 self._next_id += 1
-                message = build(self._next_id)
+                request_id = self._next_id
+                message = build(request_id,
+                                (self.protocol_version or 1) >= 2)
+                frame = self._encode(message)
+                future = asyncio.get_running_loop().create_future()
+                self._pending[request_id] = future
                 try:
-                    await self.connect()
-                    assert self._writer is not None and self._reader is not None
-                    self._writer.write(protocol.encode_frame(message))
-                    await self._writer.drain()
-                    response = await asyncio.wait_for(
-                        self._read_frame(self._reader), self.timeout)
-                except (ConnectionError, OSError, EOFError,
-                        asyncio.IncompleteReadError,
-                        asyncio.TimeoutError) as exc:
-                    await self.close()
-                    if not reconnect or attempt >= self.retries:
-                        raise ConnectionError(
-                            f"lost connection to {self.host}:{self.port} "
-                            f"({exc!r})") from exc
-                    await asyncio.sleep(self._backoff.delay(attempt))
+                    async with self._write_lock:
+                        writer.write(frame)
+                        await writer.drain()
+                    response = await asyncio.wait_for(future, self.timeout)
+                finally:
+                    self._pending.pop(request_id, None)
+            except (ConnectionError, OSError, EOFError,
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError) as exc:
+                await self.close()
+                if not reconnect or attempt >= self.retries:
+                    raise ConnectionError(
+                        f"lost connection to {self.host}:{self.port} "
+                        f"({exc!r})") from exc
+                await asyncio.sleep(self._backoff.delay(attempt))
+                attempt += 1
+                continue
+            if response.get("type") == "error":
+                error = protocol.exception_from_error(response)
+                if (isinstance(error, ServerOverloadedError)
+                        and self.retry_overloaded
+                        and attempt < self.retries):
+                    delay = error.retry_after_seconds
+                    if delay is None:
+                        delay = self.backoff
+                    await asyncio.sleep(min(delay, self.max_backoff))
                     attempt += 1
                     continue
-                if response.get("type") == "error":
-                    error = protocol.exception_from_error(response)
-                    if (isinstance(error, ServerOverloadedError)
-                            and self.retry_overloaded
-                            and attempt < self.retries):
-                        delay = error.retry_after_seconds
-                        if delay is None:
-                            delay = self.backoff
-                        await asyncio.sleep(min(delay, self.max_backoff))
-                        attempt += 1
-                        continue
-                    raise error
-                if response.get("id") != message["id"]:
-                    await self.close()
-                    raise protocol.ProtocolError(
-                        f"response id {response.get('id')!r} does not match "
-                        f"request id {message['id']!r}")
-                if response.get("type") != expected:
-                    raise protocol.ProtocolError(
-                        f"expected a {expected!r} response, got "
-                        f"{response.get('type')!r}")
-                return response
+                raise error
+            if response.get("type") != expected:
+                raise protocol.ProtocolError(
+                    f"expected a {expected!r} response, got "
+                    f"{response.get('type')!r}")
+            return response

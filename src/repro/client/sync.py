@@ -17,10 +17,19 @@ error frames raise the same exception types in-process callers see
 :class:`~repro.serve.coalescer.ServerClosedError`,
 :class:`~repro.api.session.SessionClosedError`, :class:`ValueError`).
 
-A :class:`Client` is **not** thread-safe — it serializes one request at a
-time on one socket.  Use one client per thread (see
-:class:`repro.client.adapter.RemoteServerAdapter`) or the asyncio
-:class:`~repro.client.aio.AsyncClient`.
+**Protocol v2.**  The client advertises ``max_version`` in its hello and
+records the server's pick as :attr:`Client.protocol_version` (also shown
+in ``repr``).  On a v2 connection requests and responses travel as binary
+zero-copy frames (:mod:`repro.serve.wire2`); against an older server the
+same client falls back to v1 JSON transparently.  :meth:`Client.pipeline`
+opens a batch context with *multiple requests in flight per socket*,
+correlated by id; ``shm=True`` additionally offers the same-host
+shared-memory lane of :mod:`repro.serve.shm` for image payloads.
+
+A :class:`Client` is **not** thread-safe — outside a pipeline it
+serializes one request at a time on one socket.  Use one client per
+thread (see :class:`repro.client.adapter.RemoteServerAdapter`) or the
+asyncio :class:`~repro.client.aio.AsyncClient`.
 """
 
 from __future__ import annotations
@@ -28,7 +37,7 @@ from __future__ import annotations
 import socket
 import time
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.api.types import (
     CompensationResult,
@@ -40,12 +49,14 @@ from repro.client.backoff import Backoff
 from repro.core.histogram import Histogram
 from repro.core.transforms import PixelTransform
 from repro.imaging.image import Image
-from repro.serve import protocol
+from repro.serve import protocol, wire2
+from repro.serve import shm as shm_lane
 from repro.serve.coalescer import ServerOverloadedError
 from repro.serve.net import DEFAULT_PORT
 from repro.serve.stats import ServerStats
 
-__all__ = ["Client", "RemoteSession", "LocalCompensation", "parse_address"]
+__all__ = ["Client", "ClientPipeline", "PendingReply", "RemoteSession",
+           "LocalCompensation", "parse_address"]
 
 
 def parse_address(address: str, default_port: int = DEFAULT_PORT,
@@ -161,10 +172,13 @@ class RemoteSession:
             raise SessionClosedError(
                 f"remote session {self._id} has been closed")
         response = self._client._request(
-            lambda request_id: protocol.feed_request(request_id, self._id,
-                                                     frame),
+            lambda request_id, binary: self._client._build_feed(
+                request_id, self._id, frame, binary),
             expected="frame", reconnect=False)
-        return protocol.stream_frame_from_wire(response["outcome"])
+        wire = response["outcome"]
+        original = (None if "original" in wire.get("result", {})
+                    else frame.to_grayscale())
+        return protocol.stream_frame_from_wire(wire, original=original)
 
     def close(self) -> None:
         """Close the remote session (idempotent, best-effort on a dead
@@ -174,7 +188,7 @@ class RemoteSession:
         self._closed = True
         try:
             self._client._request(
-                lambda request_id: protocol.close_session_request(
+                lambda request_id, binary: protocol.close_session_request(
                     request_id, self._id),
                 expected="session_closed", reconnect=False)
         except (ConnectionError, OSError):
@@ -216,15 +230,43 @@ class Client:
         Whether an ``overloaded`` error frame is retried after its
         ``retry_after`` hint (up to ``retries`` attempts) instead of
         raising immediately.
+    max_version:
+        Newest protocol generation to advertise in the hello
+        (:data:`~repro.serve.protocol.PROTOCOL_VERSION` by default; pass
+        ``1`` to force the v1 JSON codec).  The server's pick lands on
+        :attr:`protocol_version`.
+    shm:
+        Offer the same-host shared-memory lane
+        (:mod:`repro.serve.shm`) during the handshake.  When the server
+        proves the same-host claim, ``process``/``feed`` image payloads
+        travel by block reference instead of over the socket.  Requires
+        a negotiated v2 connection; silently stays on the socket lane
+        otherwise (including against a remote or pre-v2 server).  The
+        lane is lockstep-only: pipelined requests always use the socket.
+
+    Attributes
+    ----------
+    protocol_version:
+        The generation negotiated on the current connection (``None``
+        while disconnected).
+    bytes_sent, bytes_received:
+        Lifetime wire-byte counters across reconnects — the
+        bytes-on-wire measurement surface of the network benchmarks.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *,
                  timeout: float = 60.0, retries: int = 3,
                  backoff: float = 0.1, max_backoff: float = 2.0,
                  jitter: float = 0.5, rng=None,
-                 retry_overloaded: bool = True) -> None:
+                 retry_overloaded: bool = True,
+                 max_version: int = protocol.PROTOCOL_VERSION,
+                 shm: bool = False) -> None:
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if not protocol.PROTOCOL_V1 <= int(max_version) <= protocol.PROTOCOL_VERSION:
+            raise ValueError(
+                f"max_version must be within [{protocol.PROTOCOL_V1}, "
+                f"{protocol.PROTOCOL_VERSION}], got {max_version}")
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
@@ -232,9 +274,24 @@ class Client:
         self.backoff = float(backoff)
         self.max_backoff = float(max_backoff)
         self.retry_overloaded = bool(retry_overloaded)
+        self.max_version = int(max_version)
+        self.protocol_version: int | None = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._want_shm = bool(shm)
+        self._shm: shm_lane.ShmLane | None = None
         self._backoff = Backoff(backoff, max_backoff, jitter=jitter, rng=rng)
         self._sock: socket.socket | None = None
         self._next_id = 0
+        self._pipeline: "ClientPipeline | None" = None
+
+    def __repr__(self) -> str:
+        lane = (self.protocol_version is not None and self._shm is not None
+                and self._shm.active)
+        state = (f"protocol v{self.protocol_version}"
+                 f"{' +shm' if lane else ''}"
+                 if self.protocol_version is not None else "disconnected")
+        return f"Client({self.host}:{self.port}, {state})"
 
     @classmethod
     def at(cls, address: str, **options) -> "Client":
@@ -252,7 +309,7 @@ class Client:
         driver program) to apply locally.  Mirrors
         :meth:`Engine.solve <repro.api.engine.Engine.solve>`."""
         response = self._request(
-            lambda request_id: protocol.solve_request(
+            lambda request_id, binary: protocol.solve_request(
                 request_id, source, max_distortion, algorithm=algorithm),
             expected="solution")
         return protocol.solution_from_wire(response["solution"])
@@ -286,11 +343,11 @@ class Client:
         decoding the pixels."""
         routing = protocol.routing_key(image)
         response = self._request(
-            lambda request_id: protocol.process_request(
-                request_id, image, max_distortion, algorithm=algorithm,
-                routing=routing),
+            lambda request_id, binary: self._build_process(
+                request_id, image, max_distortion, algorithm, routing,
+                binary),
             expected="result")
-        return protocol.result_from_wire(response["result"])
+        return self._decode_result(response["result"], image)
 
     def open_session(self, max_distortion: float,
                      algorithm: str | None = None,
@@ -301,7 +358,7 @@ class Client:
         (``scene_gated_solve=``, ``snap_on_scene_change=``,
         ``stability_bins=``, ...)."""
         response = self._request(
-            lambda request_id: protocol.open_session_request(
+            lambda request_id, binary: protocol.open_session_request(
                 request_id, max_distortion, algorithm=algorithm,
                 options=options),
             expected="session")
@@ -310,14 +367,40 @@ class Client:
 
     def stats(self) -> ServerStats:
         """The server's live statistics snapshot."""
-        response = self._request(protocol.stats_request, expected="stats")
+        response = self._request(
+            lambda request_id, binary: protocol.stats_request(request_id),
+            expected="stats")
         return protocol.server_stats_from_wire(response["stats"])
 
     def stats_dict(self) -> Mapping[str, Any]:
         """The raw JSON payload of the ``stats`` RPC (the server's
         ``as_dict`` view, latencies in ms)."""
-        response = self._request(protocol.stats_request, expected="stats")
+        response = self._request(
+            lambda request_id, binary: protocol.stats_request(request_id),
+            expected="stats")
         return response["stats"]
+
+    def pipeline(self) -> "ClientPipeline":
+        """Open a batch context with multiple requests in flight.
+
+        Calls on the returned :class:`ClientPipeline` send their frame
+        immediately and return a :class:`PendingReply`; the server works
+        on all of them concurrently and replies in completion order,
+        correlated by request id.  Closing the context drains every
+        outstanding reply, so ``.result()`` afterwards never blocks::
+
+            with client.pipeline() as batch:
+                first = batch.solve(histogram_a, max_distortion=10.0)
+                second = batch.process(image_b, max_distortion=10.0)
+            solution = first.result()
+            result = second.result()
+
+        Pipelined requests are never retried or reconnected — a lost
+        connection fails every outstanding reply — and the lockstep
+        :meth:`solve`/:meth:`process`/:meth:`stats` calls are refused
+        while a pipeline is open.
+        """
+        return ClientPipeline(self)
 
     # ------------------------------------------------------------------ #
     # connection plumbing
@@ -328,29 +411,55 @@ class Client:
         return self._sock is not None
 
     def connect(self) -> None:
-        """Connect and handshake now (otherwise done lazily)."""
+        """Connect and handshake now (otherwise done lazily).
+
+        The hello advertises ``[1, max_version]``; the server's pick
+        lands on :attr:`protocol_version`.  When ``shm=True`` a probe
+        block rides along (see :mod:`repro.serve.shm`) and the lane
+        activates only if the server proves the same-host claim.
+        """
         if self._sock is not None:
             return
         sock = socket.create_connection((self.host, self.port),
                                         timeout=self.timeout)
+        lane: shm_lane.ShmLane | None = None
         try:
-            sock.sendall(protocol.encode_frame(protocol.hello_frame()))
+            offer = None
+            if (self._want_shm and self.max_version >= 2
+                    and shm_lane.shm_available()):
+                lane = shm_lane.ShmLane()
+                offer = lane.offer()
+            self._send_bytes(sock, protocol.encode_frame(
+                protocol.hello_frame(max_version=self.max_version,
+                                     shm=offer)))
             hello = self._recv_frame(sock)
             if hello.get("type") == "error":
                 raise protocol.exception_from_error(hello)
+            version = hello.get("version")
             if (hello.get("type") != "hello"
-                    or hello.get("version") != protocol.PROTOCOL_VERSION):
+                    or not isinstance(version, int)
+                    or not protocol.PROTOCOL_V1 <= version <= self.max_version):
                 raise protocol.ProtocolError(
                     f"server answered the handshake with "
-                    f"{hello.get('type')!r} v{hello.get('version')!r}")
+                    f"{hello.get('type')!r} v{version!r}")
+            if lane is not None:
+                lane.conclude(version >= 2 and bool(hello.get("shm")))
         except BaseException:
+            if lane is not None:
+                lane.close()
             sock.close()
             raise
         self._sock = sock
+        self._shm = lane
+        self.protocol_version = int(version)
 
     def close(self) -> None:
         """Drop the connection (idempotent); the server closes any
         sessions this connection owned."""
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+        self.protocol_version = None
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -367,6 +476,10 @@ class Client:
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _send_bytes(self, sock: socket.socket, frame: bytes) -> None:
+        sock.sendall(frame)
+        self.bytes_sent += len(frame)
+
     def _recv_exactly(self, sock: socket.socket, count: int) -> bytes:
         chunks = []
         remaining = count
@@ -375,31 +488,77 @@ class Client:
             if not chunk:
                 raise ConnectionError("the server closed the connection")
             chunks.append(chunk)
+            self.bytes_received += len(chunk)
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def _recv_frame(self, sock: socket.socket) -> dict:
+    def _recv_payload(self, sock: socket.socket) -> bytes:
         header = self._recv_exactly(sock, protocol.HEADER_BYTES)
-        payload = self._recv_exactly(sock, protocol.frame_length(header))
-        return protocol.decode_frame(payload)
+        return self._recv_exactly(sock, protocol.frame_length(header))
+
+    def _recv_frame(self, sock: socket.socket) -> dict:
+        # decode by sniff: a negotiated-v2 connection carries v2 binary
+        # frames, but the hello (and any v1 fallback) is plain JSON
+        return wire2.decode_any(self._recv_payload(sock))[1]
+
+    def _encode(self, message: dict) -> bytes:
+        if (self.protocol_version or protocol.PROTOCOL_V1) >= 2:
+            return wire2.encode_frame(message)
+        return protocol.encode_frame(message)
+
+    def _build_process(self, request_id: int, image: Image,
+                       max_distortion: float, algorithm: str | None,
+                       routing: bytes | None, binary: bool) -> dict:
+        if binary and self._shm is not None and self._shm.active:
+            message = protocol.process_request(
+                request_id, image, max_distortion, algorithm=algorithm,
+                routing=routing)
+            message["image"] = {"shm": self._shm.send_image(image)}
+            return message
+        return protocol.process_request(request_id, image, max_distortion,
+                                        algorithm=algorithm, routing=routing,
+                                        binary=binary)
+
+    def _build_feed(self, request_id: int, session_id: str, frame: Image,
+                    binary: bool) -> dict:
+        if binary and self._shm is not None and self._shm.active:
+            return protocol.feed_request(request_id, session_id, frame,
+                                         shm=self._shm.send_image(frame))
+        return protocol.feed_request(request_id, session_id, frame,
+                                     binary=binary)
+
+    @staticmethod
+    def _decode_result(wire: Mapping[str, Any],
+                       image: Image) -> CompensationResult:
+        # a v2 response omits the original image — it is the grayscale
+        # rendition of the request image, rebuilt here bit-exactly
+        original = None if "original" in wire else image.to_grayscale()
+        return protocol.result_from_wire(wire, original=original)
 
     def _request(self, build, expected: str, reconnect: bool = True) -> dict:
         """One request/response round trip with the retry policy.
 
-        ``build`` is called with a fresh request id for every attempt (so a
-        retried request is distinguishable server-side).  ``reconnect``
+        ``build`` is called with a fresh request id (and the negotiated
+        codec's ``binary`` flag) for every attempt, so a retried request
+        is distinguishable server-side and re-encodes correctly if a
+        reconnect landed on a different protocol version.  ``reconnect``
         disables the reconnect-and-retry path for requests that are not
         safe to replay on a new connection (session traffic — the state
         died with the old socket).
         """
+        if self._pipeline is not None:
+            raise RuntimeError(
+                "a pipeline is open on this client; finish the batch "
+                "before making lockstep calls")
         attempt = 0
         while True:
-            self._next_id += 1
-            message = build(self._next_id)
             try:
                 self.connect()
                 assert self._sock is not None
-                self._sock.sendall(protocol.encode_frame(message))
+                self._next_id += 1
+                message = build(self._next_id,
+                                (self.protocol_version or 1) >= 2)
+                self._send_bytes(self._sock, self._encode(message))
                 response = self._recv_frame(self._sock)
             except (ConnectionError, OSError, EOFError) as exc:
                 self.close()
@@ -432,3 +591,170 @@ class Client:
                     f"expected a {expected!r} response, got "
                     f"{response.get('type')!r}")
             return response
+
+
+class PendingReply:
+    """Handle to one in-flight request of a :class:`ClientPipeline`.
+
+    :meth:`result` blocks until this request's reply has been read off
+    the socket (replies arrive in server completion order, not submission
+    order) and either returns the decoded value or raises the typed
+    error the server answered with.  After the pipeline context exits,
+    every reply has been drained and :meth:`result` returns instantly.
+    """
+
+    def __init__(self, batch: "ClientPipeline", request_id: int,
+                 expected: str, decode: Callable[[dict], Any]) -> None:
+        self._batch = batch
+        self.request_id = int(request_id)
+        self._expected = expected
+        self._decode = decode
+        self._outcome: tuple[str, Any] | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the reply has been received (or failed)."""
+        return self._outcome is not None
+
+    def result(self) -> Any:
+        """The decoded reply, blocking until it arrives."""
+        return self._batch._resolve(self)
+
+
+class ClientPipeline:
+    """A batch of pipelined requests on one :class:`Client` socket.
+
+    Obtained from :meth:`Client.pipeline`.  Every call sends its frame
+    immediately — the server (or a cluster router) works on all of them
+    concurrently — and returns a :class:`PendingReply` correlated by
+    request id.  Replies are read lazily by :meth:`PendingReply.result`
+    and drained completely when the context closes.
+
+    Pipelined traffic never retries or reconnects: a lost connection
+    fails every outstanding reply with :class:`ConnectionError`.  The
+    shared-memory lane is also bypassed (its data block is only safe
+    under lockstep traffic); pipelined image payloads use the socket.
+    """
+
+    def __init__(self, client: Client) -> None:
+        if client._pipeline is not None:
+            raise RuntimeError("a pipeline is already open on this client")
+        client.connect()
+        self._client = client
+        self._pending: dict[int, PendingReply] = {}
+        self._failure: ConnectionError | None = None
+        self._closed = False
+        client._pipeline = self
+
+    # -- request surface ---------------------------------------------- #
+    def solve(self, source: Image | Histogram, max_distortion: float,
+              algorithm: str | None = None) -> PendingReply:
+        """Pipelined :meth:`Client.solve`."""
+        return self._submit(
+            lambda rid, binary: protocol.solve_request(
+                rid, source, max_distortion, algorithm=algorithm),
+            "solution",
+            lambda response: protocol.solution_from_wire(
+                response["solution"]))
+
+    def process(self, image: Image, max_distortion: float,
+                algorithm: str | None = None) -> PendingReply:
+        """Pipelined :meth:`Client.process`."""
+        routing = protocol.routing_key(image)
+        return self._submit(
+            lambda rid, binary: protocol.process_request(
+                rid, image, max_distortion, algorithm=algorithm,
+                routing=routing, binary=binary),
+            "result",
+            lambda response: Client._decode_result(response["result"],
+                                                   image))
+
+    def stats(self) -> PendingReply:
+        """Pipelined :meth:`Client.stats`."""
+        return self._submit(
+            lambda rid, binary: protocol.stats_request(rid),
+            "stats",
+            lambda response: protocol.server_stats_from_wire(
+                response["stats"]))
+
+    # -- plumbing ------------------------------------------------------ #
+    def _submit(self, build, expected: str, decode) -> PendingReply:
+        if self._closed:
+            raise RuntimeError("this pipeline has been closed")
+        if self._failure is not None:
+            raise self._failure
+        client = self._client
+        client._next_id += 1
+        request_id = client._next_id
+        message = build(request_id, (client.protocol_version or 1) >= 2)
+        try:
+            assert client._sock is not None
+            client._send_bytes(client._sock, client._encode(message))
+        except (ConnectionError, OSError) as exc:
+            self._fail(exc)
+            raise self._failure from exc
+        reply = PendingReply(self, request_id, expected, decode)
+        self._pending[request_id] = reply
+        return reply
+
+    def _pump(self) -> None:
+        """Read one reply off the socket and settle its pending handle."""
+        client = self._client
+        try:
+            assert client._sock is not None
+            response = client._recv_frame(client._sock)
+        except (ConnectionError, OSError, EOFError,
+                protocol.ProtocolError) as exc:
+            self._fail(exc)
+            return
+        reply = self._pending.pop(response.get("id"), None)
+        if reply is None:
+            return    # a stray frame; ignore and keep draining
+        if response.get("type") == "error":
+            reply._outcome = ("error",
+                              protocol.exception_from_error(response))
+        elif response.get("type") != reply._expected:
+            reply._outcome = ("error", protocol.ProtocolError(
+                f"expected a {reply._expected!r} response, got "
+                f"{response.get('type')!r}"))
+        else:
+            try:
+                reply._outcome = ("value", reply._decode(response))
+            except Exception as exc:   # noqa: BLE001 - surfaced on result()
+                reply._outcome = ("error", exc)
+
+    def _fail(self, exc: BaseException) -> None:
+        self._failure = ConnectionError(
+            f"pipeline connection to {self._client.host}:"
+            f"{self._client.port} lost ({exc})")
+        for reply in self._pending.values():
+            reply._outcome = ("error", self._failure)
+        self._pending.clear()
+        self._client.close()
+
+    def _resolve(self, reply: PendingReply) -> Any:
+        while reply._outcome is None:
+            self._pump()
+        kind, value = reply._outcome
+        if kind == "error":
+            raise value
+        return value
+
+    def close(self) -> None:
+        """Drain every outstanding reply and release the client back to
+        lockstep mode (idempotent).  Errors stay parked on their
+        :class:`PendingReply` handles."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            while self._pending:
+                self._pump()
+        finally:
+            self._client._pipeline = None
+
+    def __enter__(self) -> "ClientPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

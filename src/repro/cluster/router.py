@@ -33,6 +33,19 @@ holds one multiplexed :class:`ShardLink` per backend
   server plus per-shard attribution and the router's ring counters, so
   existing clients and ``repro loadtest --connect`` work unchanged.
 
+**Protocol v2 bytes-through.**  Each shard link negotiates the newest
+shared protocol generation.  A binary v2 frame whose routing decision is
+readable from its header alone (``solve`` — the histogram rides in the
+header; stamped ``process``; ``feed``) crosses the router on the **fast
+path**: :func:`repro.serve.wire2.peek` reads the header, the pixels are
+never decoded, and :func:`repro.serve.wire2.restamp` rewrites only the
+correlation/session ids while the segment bytes are spliced through
+verbatim — in both directions.  A v2 frame bound for a v1-only shard is
+**transcoded** instead (arrays re-encoded as base64 off the event loop);
+v1 frames always take the decoded-dict path.  The
+``frames_fast_path`` / ``frames_transcoded`` counters under the ``stats``
+``cluster`` key make the split observable.
+
 ``repro cluster --shards HOST:PORT,... --port P`` runs one from the
 command line.
 """
@@ -52,9 +65,9 @@ from repro.client.sync import parse_address
 from repro.cluster.health import ShardHealth
 from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
 from repro.cluster.stats import ClusterCounters, aggregate_stats
-from repro.serve import protocol
+from repro.serve import protocol, wire2
 from repro.serve.coalescer import ServerOverloadedError
-from repro.serve.net import FrameServerBase
+from repro.serve.net import ConnectionContext, FrameServerBase
 
 __all__ = ["ClusterRouter", "ShardLink", "DEFAULT_ROUTER_PORT"]
 
@@ -73,15 +86,23 @@ class ShardLink:
     every pending request with :class:`ConnectionError` — the router
     decides per request type whether that means failover (one-shot RPCs)
     or session death (``feed``).
+
+    The handshake advertises ``max_version`` and records the shard's pick
+    on :attr:`version`.  :meth:`request` exchanges message dicts;
+    :meth:`forward` is the v2 bytes-through path — the raw frame payload
+    crosses with only its header restamped, in both directions.
     """
 
     def __init__(self, address: str, *, timeout: float = 60.0,
-                 backoff: Backoff | None = None) -> None:
+                 backoff: Backoff | None = None,
+                 max_version: int = protocol.PROTOCOL_VERSION) -> None:
         self.address = str(address)
         self.host, self.port = parse_address(self.address)
         self.timeout = float(timeout)
         self.backoff = backoff if backoff is not None else Backoff(0.05, 1.0)
+        self.max_version = int(max_version)
         self.shard_id: str | None = None    # learned from the shard's hello
+        self.version: int = protocol.PROTOCOL_V1    # negotiated per connect
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
@@ -121,17 +142,21 @@ class ShardLink:
                 raise ConnectionError(
                     f"cannot reach shard {self.address} ({exc})") from exc
             try:
-                writer.write(protocol.encode_frame(protocol.hello_frame()))
+                writer.write(protocol.encode_frame(
+                    protocol.hello_frame(max_version=self.max_version)))
                 await writer.drain()
-                hello = await asyncio.wait_for(self._read_frame(reader),
-                                               self.timeout)
+                hello = await asyncio.wait_for(
+                    self._read_message(reader), self.timeout)
                 if hello.get("type") == "error":
                     raise protocol.exception_from_error(hello)
+                version = hello.get("version")
                 if (hello.get("type") != "hello"
-                        or hello.get("version") != protocol.PROTOCOL_VERSION):
+                        or not isinstance(version, int)
+                        or not (protocol.PROTOCOL_V1 <= version
+                                <= self.max_version)):
                     raise protocol.ProtocolError(
                         f"shard answered the handshake with "
-                        f"{hello.get('type')!r} v{hello.get('version')!r}")
+                        f"{hello.get('type')!r} v{version!r}")
             except asyncio.CancelledError:
                 writer.close()
                 raise
@@ -143,26 +168,49 @@ class ShardLink:
                     f"({exc})") from exc
             self._attempt = 0
             self.shard_id = str(hello.get("shard_id") or self.address)
+            self.version = int(version)
             self._reader, self._writer = reader, writer
             self._reader_task = asyncio.get_running_loop().create_task(
                 self._read_loop(reader))
 
-    async def request(self, message: dict) -> dict:
-        """Send one request frame and await its correlated response.
+    async def request(self, message: dict, *, wire_version: int = 1) -> dict:
+        """Send one request dict and await its decoded response.
 
         The frame's ``id`` is replaced with a link-local correlation id
-        (the caller restores the client-facing id on the way back).  Any
-        transport problem — including a response timeout — surfaces as
-        :class:`ConnectionError`.
+        (the caller restores the client-facing id on the way back) and
+        the message is encoded in ``wire_version``'s codec (v2 accepts
+        ndarray leaves).  Any transport problem — including a response
+        timeout — surfaces as :class:`ConnectionError`.
         """
         await self.connect()
         link_id = next(self._ids)
         message = dict(message)
         message["id"] = link_id
+        frame = (wire2.encode_frame(message) if wire_version >= 2
+                 else protocol.encode_frame(message))
+        payload = await self._exchange(link_id, frame)
+        return wire2.decode_any(payload)[1]
+
+    async def forward(self, payload: bytes, *,
+                      session_id: str | None = None) -> bytes:
+        """Forward a raw v2 frame payload and await the raw response.
+
+        Only the header is restamped (link-local id, optionally a
+        shard-local session id) — the segment bytes cross verbatim, and
+        the shard's reply comes back as raw payload bytes for the caller
+        to restamp toward the client.
+        """
+        await self.connect()
+        link_id = next(self._ids)
+        stamped = wire2.restamp(payload, link_id, session_id=session_id)
+        frame = (len(stamped).to_bytes(protocol.HEADER_BYTES, "big")
+                 + stamped)
+        return await self._exchange(link_id, frame)
+
+    async def _exchange(self, link_id: int, frame: bytes) -> bytes:
         future = asyncio.get_running_loop().create_future()
         self._pending[link_id] = future
         try:
-            frame = protocol.encode_frame(message)
             async with self._write_lock:
                 writer = self._writer
                 if writer is None:
@@ -178,18 +226,27 @@ class ShardLink:
         finally:
             self._pending.pop(link_id, None)
 
-    async def _read_frame(self, reader: asyncio.StreamReader) -> dict:
+    async def _read_payload(self, reader: asyncio.StreamReader) -> bytes:
         header = await reader.readexactly(protocol.HEADER_BYTES)
-        payload = await reader.readexactly(protocol.frame_length(header))
-        return protocol.decode_frame(payload)
+        return await reader.readexactly(protocol.frame_length(header))
+
+    async def _read_message(self, reader: asyncio.StreamReader) -> dict:
+        return wire2.decode_any(await self._read_payload(reader))[1]
 
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         try:
             while True:
-                frame = await self._read_frame(reader)
-                future = self._pending.pop(frame.get("id"), None)
+                payload = await self._read_payload(reader)
+                # correlation needs only the id: O(header) for v2 frames,
+                # and the raw payload is what resolves the future — the
+                # fast path never materializes the segments here
+                if wire2.is_v2_payload(payload):
+                    frame_id = wire2.peek(payload).get("id")
+                else:
+                    frame_id = protocol.decode_frame(payload).get("id")
+                future = self._pending.pop(frame_id, None)
                 if future is not None and not future.done():
-                    future.set_result(frame)
+                    future.set_result(payload)
                 # an unknown id is a response whose request already timed
                 # out (and was failed over) — drop it
         except (asyncio.IncompleteReadError, ConnectionError, OSError,
@@ -258,7 +315,13 @@ class ClusterRouter(FrameServerBase):
         fast defaults when omitted.
     key_workers:
         Threads deriving routing keys for un-stamped ``process`` requests
-        (pixel decoding stays off the event loop).
+        and transcoding v2 frames for v1 shards (pixel work stays off the
+        event loop).
+    shard_max_version:
+        Newest protocol generation the shard links advertise
+        (:data:`~repro.serve.protocol.PROTOCOL_VERSION` by default; pin
+        to ``1`` to force the v1 JSON lane toward every shard — the knob
+        the cross-version tests and a staged rollout use).
     """
 
     _thread_name = "repro-cluster-router"
@@ -268,7 +331,8 @@ class ClusterRouter(FrameServerBase):
                  health_interval: float = 1.0, health_timeout: float = 5.0,
                  markdown_after: int = 2, request_timeout: float = 60.0,
                  backoff: Backoff | None = None,
-                 key_workers: int = 2) -> None:
+                 key_workers: int = 2,
+                 shard_max_version: int = protocol.PROTOCOL_VERSION) -> None:
         super().__init__(host=host, port=port)
         addresses = [str(shard).strip() for shard in shards
                      if str(shard).strip()]
@@ -285,6 +349,7 @@ class ClusterRouter(FrameServerBase):
         self.health_interval = float(health_interval)
         self.health_timeout = float(health_timeout)
         self.request_timeout = float(request_timeout)
+        self.shard_max_version = int(shard_max_version)
         self._backoff = backoff if backoff is not None else Backoff(0.05, 0.5)
         self._links: dict[str, ShardLink] = {}
         self._monitor_task: asyncio.Task | None = None
@@ -309,7 +374,8 @@ class ClusterRouter(FrameServerBase):
     async def _on_serve_start(self) -> None:
         self._links = {
             address: ShardLink(address, timeout=self.request_timeout,
-                               backoff=self._backoff)
+                               backoff=self._backoff,
+                               max_version=self.shard_max_version)
             for address in self.shards
         }
         self._monitor_task = asyncio.get_running_loop().create_task(
@@ -379,17 +445,22 @@ class ClusterRouter(FrameServerBase):
     # ------------------------------------------------------------------ #
     # connection hooks
     # ------------------------------------------------------------------ #
-    def _hello_response(self) -> dict:
-        return protocol.hello_frame(shard_id=self.router_id)
+    def _hello_response(self, conn: ConnectionContext, hello: dict) -> dict:
+        # a router never accepts a shared-memory offer (it is not the
+        # process that reads the pixels): no ``shm`` echo in the reply,
+        # so the client's lane concludes refused and stays on the socket
+        return protocol.hello_frame(version=conn.version,
+                                    shard_id=self.router_id)
 
     def _new_connection(self) -> _Connection:
         return _Connection()
 
-    async def _on_disconnect(self, conn: _Connection) -> None:
+    async def _on_disconnect(self, conn: ConnectionContext) -> None:
         # close-on-disconnect cascades: the client is gone, so its
         # sessions are closed on their owning shards (best effort — a
         # dead shard already closed them on its own disconnect)
-        sessions, conn.sessions = dict(conn.sessions), {}
+        record: _Connection = conn.state
+        sessions, record.sessions = dict(record.sessions), {}
         closes = []
         for public_id, (link, shard_session) in sessions.items():
             self._session_load[link.address] -= 1
@@ -401,27 +472,62 @@ class ClusterRouter(FrameServerBase):
     # ------------------------------------------------------------------ #
     # request handling
     # ------------------------------------------------------------------ #
-    async def _respond(self, message: dict, conn: _Connection) -> dict:
+    async def _respond_payload(self, payload: bytes, conn: ConnectionContext,
+                               version: int) -> dict | bytes:
+        """Route a v2 frame from its header alone when possible.
+
+        ``solve`` (histogram in the header), stamped ``process`` and
+        ``feed`` frames take the bytes-through fast path: the segments
+        are never decoded router-side.  Everything else — v1 frames,
+        un-stamped ``process``, session bookkeeping, ``stats`` — falls
+        through to the decoded-dict path of :meth:`_respond`.
+        """
+        if version == 2:
+            header = wire2.peek(payload)
+            kind = header.get("type")
+            if kind == "solve":
+                histogram = protocol.histogram_from_wire(
+                    header["histogram"])
+                key = protocol.routing_key(histogram)
+                return await self._forward_keyed(
+                    key, header.get("id"),
+                    lambda link: self._send_raw(link, payload))
+            if kind == "process" and header.get("routing") is not None:
+                key = self._routing_key_from(header["routing"])
+                return await self._forward_keyed(
+                    key, header.get("id"),
+                    lambda link: self._send_raw(link, payload))
+            if kind == "feed":
+                return await self._feed_raw(payload, header, conn.state)
+        return await super()._respond_payload(payload, conn, version)
+
+    async def _respond(self, message: dict, conn: ConnectionContext,
+                       version: int) -> dict:
         kind = message.get("type")
         request_id = message.get("id")
+        record: _Connection = conn.state
 
         if kind == "solve":
             histogram = protocol.histogram_from_wire(message["histogram"])
             key = protocol.routing_key(histogram)
-            return await self._forward_keyed(message, key, request_id)
+            return await self._forward_keyed(
+                key, request_id,
+                lambda link: self._send_dict(link, message, version))
 
         if kind == "process":
             key = await self._process_key(message)
-            return await self._forward_keyed(message, key, request_id)
+            return await self._forward_keyed(
+                key, request_id,
+                lambda link: self._send_dict(link, message, version))
 
         if kind == "open_session":
-            return await self._open_session(message, conn)
+            return await self._open_session(message, record)
 
         if kind == "feed":
-            return await self._feed(message, conn)
+            return await self._feed(message, record, version)
 
         if kind == "close_session":
-            return await self._close_session(message, conn)
+            return await self._close_session(message, record)
 
         if kind == "stats":
             return await self._stats(request_id)
@@ -434,27 +540,78 @@ class ClusterRouter(FrameServerBase):
 
         raise protocol.ProtocolError(f"unknown request type {kind!r}")
 
+    @staticmethod
+    def _routing_key_from(stamped) -> bytes:
+        try:
+            return bytes.fromhex(str(stamped))
+        except ValueError as exc:
+            raise protocol.ProtocolError(
+                f"malformed routing key {stamped!r}") from exc
+
     async def _process_key(self, message: dict) -> bytes:
         stamped = message.get("routing")
         if stamped is not None:
-            try:
-                return bytes.fromhex(str(stamped))
-            except ValueError as exc:
-                raise protocol.ProtocolError(
-                    f"malformed routing key {stamped!r}") from exc
+            return self._routing_key_from(stamped)
         # un-stamped client: derive the key from the pixels, off the loop
         image = protocol.image_from_wire(message["image"])
         return await asyncio.get_running_loop().run_in_executor(
             self._executor, functools.partial(protocol.routing_key, image))
 
-    async def _forward_keyed(self, message: dict, key: bytes,
-                             request_id) -> dict:
+    # -- downstream senders -------------------------------------------- #
+    async def _downgrade_message(self, message: dict) -> dict:
+        """v2 → v1 transcode (base64 re-encoding runs off the loop)."""
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, wire2.downgrade_message, message)
+
+    async def _send_raw(self, link: ShardLink, payload: bytes,
+                        session_id: str | None = None) -> bytes | dict:
+        """Forward a v2 payload: bytes-through to a v2 shard, transcoded
+        to a v1 one."""
+        await link.connect()
+        if link.version >= 2:
+            response = await link.forward(payload, session_id=session_id)
+            self.counters.frames_fast_path += 1
+            return response
+        message = wire2.decode_message(payload)
+        if session_id is not None:
+            message["session_id"] = str(session_id)
+        response = await link.request(await self._downgrade_message(message))
+        self.counters.frames_transcoded += 1
+        return response
+
+    async def _send_dict(self, link: ShardLink, message: dict,
+                         version: int) -> dict:
+        """Forward a decoded message dict in the best shared codec."""
+        await link.connect()
+        if version >= 2 and link.version < 2:
+            response = await link.request(
+                await self._downgrade_message(message))
+            self.counters.frames_transcoded += 1
+            return response
+        return await link.request(message,
+                                  wire_version=min(version, link.version))
+
+    def _restore_id(self, response: dict | bytes, request_id) -> dict | bytes:
+        """Restore the client-facing correlation id on a shard response —
+        an O(header) restamp for raw v2 payloads, a dict update otherwise."""
+        if isinstance(response, (bytes, bytearray, memoryview)):
+            response = bytes(response)
+            if wire2.is_v2_payload(response):
+                return wire2.restamp(response, request_id)
+            response = protocol.decode_frame(response)
+        response = dict(response)
+        response["id"] = request_id
+        return response
+
+    async def _forward_keyed(self, key: bytes, request_id,
+                             send) -> dict | bytes:
         """Forward a content-keyed one-shot RPC to the key's shard, failing
         over along the ring walk.
 
-        ``solve``/``process`` are pure functions of their payload, so
-        replaying one on the next shard is always safe — unlike session
-        traffic, which never fails over (see :meth:`_feed`).
+        ``send(link)`` performs the actual downstream exchange (dict or
+        bytes-through).  ``solve``/``process`` are pure functions of their
+        payload, so replaying one on the next shard is always safe —
+        unlike session traffic, which never fails over (see :meth:`_feed`).
         """
         last_error: ConnectionError | None = None
         hops = 0
@@ -468,16 +625,14 @@ class ClusterRouter(FrameServerBase):
             hops += 1
             link = self._links[address]
             try:
-                response = await link.request(message)
+                response = await send(link)
             except ConnectionError as exc:
                 health.note_failure(hard=True)
                 last_error = exc
                 continue
             health.note_success()
             self.counters.routed[address] += 1
-            response = dict(response)
-            response["id"] = request_id
-            return response
+            return self._restore_id(response, request_id)
         detail = f"; last error: {last_error}" if last_error else ""
         raise ServerOverloadedError(
             f"no shard reachable for this request "
@@ -492,7 +647,7 @@ class ClusterRouter(FrameServerBase):
                                      self._index[address]))
         return up
 
-    async def _open_session(self, message: dict, conn: _Connection) -> dict:
+    async def _open_session(self, message: dict, record: _Connection) -> dict:
         request_id = message.get("id")
         last_error: ConnectionError | None = None
         for address in self._session_candidates():
@@ -513,7 +668,7 @@ class ClusterRouter(FrameServerBase):
             # shards allocate ids independently, so the public id is
             # namespaced by the shard's ring index
             public_id = f"{self._index[address]}:{shard_session}"
-            conn.sessions[public_id] = (link, shard_session)
+            record.sessions[public_id] = (link, shard_session)
             self._session_load[address] += 1
             self.counters.sessions_routed[address] += 1
             return protocol.session_response(request_id, public_id)
@@ -523,15 +678,14 @@ class ClusterRouter(FrameServerBase):
             retry_after_seconds=max(self.health_interval,
                                     protocol.DEFAULT_RETRY_AFTER))
 
-    def _drop_session(self, conn: _Connection, public_id: str) -> None:
-        entry = conn.sessions.pop(public_id, None)
+    def _drop_session(self, record: _Connection, public_id: str) -> None:
+        entry = record.sessions.pop(public_id, None)
         if entry is not None:
             self._session_load[entry[0].address] -= 1
 
-    async def _feed(self, message: dict, conn: _Connection) -> dict:
-        request_id = message.get("id")
-        public_id = str(message.get("session_id"))
-        entry = conn.sessions.get(public_id)
+    def _session_entry(self, record: _Connection,
+                       public_id: str) -> tuple[ShardLink, str]:
+        entry = record.sessions.get(public_id)
         if entry is None:
             raise SessionClosedError(
                 f"unknown session {public_id!r} on this connection")
@@ -539,28 +693,60 @@ class ClusterRouter(FrameServerBase):
         # stream state cannot move between shards, so a session is never
         # re-routed: a dead owning shard means the session is dead
         if not self.health[link.address].up:
-            self._drop_session(conn, public_id)
+            self._drop_session(record, public_id)
             raise SessionClosedError(
                 f"session {public_id} died with shard {link.address}")
-        forward = dict(message)
-        forward["session_id"] = shard_session
+        return link, shard_session
+
+    async def _feed_exchange(self, record: _Connection, public_id: str,
+                             link: ShardLink, send):
         try:
-            response = await link.request(forward)
+            response = await send()
         except ConnectionError as exc:
             self.health[link.address].note_failure(hard=True)
-            self._drop_session(conn, public_id)
+            self._drop_session(record, public_id)
             raise SessionClosedError(
                 f"session {public_id} died with shard {link.address} "
                 f"({exc})") from exc
         self.health[link.address].note_success()
-        response = dict(response)
-        response["id"] = request_id
         return response
 
-    async def _close_session(self, message: dict, conn: _Connection) -> dict:
+    async def _feed(self, message: dict, record: _Connection,
+                    version: int) -> dict:
         request_id = message.get("id")
         public_id = str(message.get("session_id"))
-        entry = conn.sessions.pop(public_id, None)
+        link, shard_session = self._session_entry(record, public_id)
+        forward = dict(message)
+        forward["session_id"] = shard_session
+
+        async def send():
+            await link.connect()
+            if version >= 2 and link.version < 2:
+                response = await link.request(
+                    await self._downgrade_message(forward))
+                self.counters.frames_transcoded += 1
+                return response
+            return await link.request(
+                forward, wire_version=min(version, link.version))
+
+        response = await self._feed_exchange(record, public_id, link, send)
+        return self._restore_id(response, request_id)
+
+    async def _feed_raw(self, payload: bytes, header: dict,
+                        record: _Connection) -> dict | bytes:
+        request_id = header.get("id")
+        public_id = str(header.get("session_id"))
+        link, shard_session = self._session_entry(record, public_id)
+        response = await self._feed_exchange(
+            record, public_id, link,
+            lambda: self._send_raw(link, payload, session_id=shard_session))
+        return self._restore_id(response, request_id)
+
+    async def _close_session(self, message: dict,
+                             record: _Connection) -> dict:
+        request_id = message.get("id")
+        public_id = str(message.get("session_id"))
+        entry = record.sessions.pop(public_id, None)
         if entry is not None:
             link, shard_session = entry
             self._session_load[link.address] -= 1

@@ -37,7 +37,8 @@ __all__ = ["ClusterCounters", "aggregate_stats"]
 _SUM_KEYS = (
     "submitted", "completed", "failed", "rejected", "batches",
     "queue_depth", "sessions_open", "sessions_opened", "sessions_closed",
-    "sessions_evicted", "session_frames", "cache_hits", "cache_misses",
+    "sessions_evicted", "session_frames", "connections_v1",
+    "connections_v2", "cache_hits", "cache_misses",
     "cache_replays", "cache_size", "cache_max_size", "cache_evictions",
 )
 
@@ -57,12 +58,17 @@ class ClusterCounters:
     onto few shards per distinct key, not spread).  ``sessions_routed``
     counts session placements per shard; ``failovers`` counts one-shot
     requests re-forwarded past a dead shard along the ring walk.
+    ``frames_fast_path`` counts v2 frames forwarded bytes-through
+    (segments never decoded router-side); ``frames_transcoded`` counts v2
+    frames re-encoded to v1 JSON for a v1-only shard.
     """
 
     def __init__(self) -> None:
         self.routed: Counter[str] = Counter()
         self.sessions_routed: Counter[str] = Counter()
         self.failovers = 0
+        self.frames_fast_path = 0
+        self.frames_transcoded = 0
 
     def as_dict(self) -> dict:
         return json_ready({
@@ -72,6 +78,8 @@ class ClusterCounters:
                 shard: int(count)
                 for shard, count in sorted(self.sessions_routed.items())},
             "failovers": int(self.failovers),
+            "frames_fast_path": int(self.frames_fast_path),
+            "frames_transcoded": int(self.frames_transcoded),
         })
 
 

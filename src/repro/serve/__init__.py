@@ -35,6 +35,15 @@ turns the (thread-safe) :class:`~repro.api.engine.Engine` into a service:
     length-prefixed JSON frames, bit-exact ``to_wire``/``from_wire`` for
     histograms, images, transforms, solutions and results, and the typed
     error frames that carry backpressure hints across the network hop.
+:mod:`repro.serve.wire2`
+    The negotiated protocol-v2 binary frame format: the same messages
+    with raw zero-copy array segments (``np.frombuffer`` decode), a
+    peek/restamp surface for the cluster router's bytes-through fast
+    path, and a transcode fallback to v1 JSON.
+:mod:`repro.serve.shm`
+    The same-host shared-memory lane of protocol v2: nonce-proofed
+    negotiation, image payloads by block reference, leak-proof
+    unlink-on-disconnect.
 :mod:`repro.serve.net`
     :class:`NetworkServer` — the asyncio TCP front end multiplexing many
     connections onto the shared micro-batch ticks (``repro serve --host
@@ -69,7 +78,7 @@ from repro.serve.loadgen import (
     time_serial_stream_baseline,
 )
 from repro.serve.net import DEFAULT_PORT, NetworkServer
-from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.protocol import PROTOCOL_V1, PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import Server, ServerSession, SessionManager
 from repro.serve.stats import (
     ServerStats,
@@ -83,6 +92,7 @@ __all__ = [
     "NetworkServer",
     "DEFAULT_PORT",
     "PROTOCOL_VERSION",
+    "PROTOCOL_V1",
     "ProtocolError",
     "json_ready",
     "Server",

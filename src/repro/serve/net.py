@@ -25,11 +25,23 @@ thread-safe :class:`~repro.api.engine.Engine`, the micro-batching
   never pin the session table.
 
 The event-loop discipline — length-prefixed frames, a ``hello``
-handshake, one asyncio task per request, a per-connection write lock,
-close-on-disconnect cleanup, and the serve/run/start/close lifecycle — is
-factored into :class:`FrameServerBase` so the cluster router of
+handshake with version negotiation, one asyncio task per request, a
+per-connection write lock, close-on-disconnect cleanup, and the
+serve/run/start/close lifecycle — is factored into
+:class:`FrameServerBase` so the cluster router of
 :mod:`repro.cluster.router` (a byte-shuttling front for many
 ``NetworkServer`` shards) speaks the protocol with the exact same manners.
+
+**Protocol v2.**  Connections negotiate the newest shared generation at
+hello time (:func:`repro.serve.protocol.negotiated_version`); each
+request frame is then decoded by sniffing — v1 JSON or the binary v2
+format of :mod:`repro.serve.wire2` — and answered *in the format it
+arrived in*, so a router can forward mixed-version traffic verbatim.
+Responders may also return pre-encoded payload bytes instead of a
+message dict (the router's bytes-through fast path).  On a negotiated
+same-host connection the server additionally accepts image payloads by
+shared-memory reference (:mod:`repro.serve.shm`), with the blocks
+unlinked on disconnect so a crashed client cannot leak them.
 
 ``repro serve --host H --port P`` runs one from the command line;
 :mod:`repro.client` is the SDK on the other end.  For tests, benchmarks
@@ -55,13 +67,33 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
 from repro.api.session import SessionClosedError
-from repro.serve import protocol
+from repro.serve import protocol, shm, wire2
 from repro.serve.server import Server, ServerSession
 
-__all__ = ["FrameServerBase", "NetworkServer", "DEFAULT_PORT"]
+__all__ = ["ConnectionContext", "FrameServerBase", "NetworkServer",
+           "DEFAULT_PORT"]
 
 #: Default TCP port of ``repro serve --port`` and the client SDK.
 DEFAULT_PORT = 7095
+
+
+class ConnectionContext:
+    """Per-connection state threaded through the framing layer.
+
+    ``version`` is the generation negotiated at hello time; ``shm`` is
+    the server-side :class:`~repro.serve.shm.ShmRegistry` when the
+    shared-memory lane was negotiated (``None`` otherwise); ``state`` is
+    whatever the subclass's ``_new_connection`` returned (the session
+    table for :class:`NetworkServer`, the routing record for the cluster
+    router).
+    """
+
+    __slots__ = ("version", "shm", "state")
+
+    def __init__(self, version: int, state: Any = None) -> None:
+        self.version = int(version)
+        self.shm: shm.ShmRegistry | None = None
+        self.state = state
 
 
 class FrameServerBase:
@@ -222,40 +254,69 @@ class FrameServerBase:
     def _on_close(self, wait: bool) -> None:
         """Release subclass-owned resources from :meth:`close`."""
 
-    def _hello_response(self) -> dict:
-        """The server side of the handshake."""
-        return protocol.hello_frame()
+    def _hello_response(self, conn: ConnectionContext, hello: dict) -> dict:
+        """The server side of the handshake, answering ``hello`` with the
+        negotiated ``conn.version``."""
+        return protocol.hello_frame(version=conn.version)
 
     def _new_connection(self) -> Any:
-        """Fresh per-connection state, handed to :meth:`_respond` and
-        :meth:`_on_disconnect`."""
+        """Fresh per-connection subclass state, carried on
+        :attr:`ConnectionContext.state`."""
         return None
 
-    async def _respond(self, message: dict, conn: Any) -> dict:
-        """Answer one request frame; exceptions become typed error frames."""
+    def _on_connect(self, conn: ConnectionContext) -> None:
+        """Runs once per connection, right after version negotiation."""
+
+    async def _respond_payload(self, payload: bytes,
+                               conn: ConnectionContext,
+                               version: int) -> dict | bytes:
+        """Answer one raw frame payload.  The default decodes it and
+        delegates to :meth:`_respond`; the cluster router overrides this
+        to forward v2 payloads without ever decoding their segments."""
+        message = (wire2.decode_message(payload) if version == 2
+                   else protocol.decode_frame(payload))
+        return await self._respond(message, conn, version)
+
+    async def _respond(self, message: dict, conn: ConnectionContext,
+                       version: int) -> dict | bytes:
+        """Answer one request frame; exceptions become typed error frames.
+
+        ``version`` is the generation of the *frame* (by sniff — a
+        negotiated-v2 connection may still carry v1 frames, e.g. through
+        a router); the reply travels in the same format.  Return a
+        message dict, or pre-encoded payload bytes to skip re-encoding
+        (the router's bytes-through fast path).
+        """
         raise NotImplementedError
 
-    async def _on_disconnect(self, conn: Any) -> None:
+    async def _on_disconnect(self, conn: ConnectionContext) -> None:
         """Clean up one connection's state after its peer is gone."""
 
     # ------------------------------------------------------------------ #
     # connection handling
     # ------------------------------------------------------------------ #
-    async def _read_frame(self, reader: asyncio.StreamReader) -> dict:
+    async def _read_payload(self, reader: asyncio.StreamReader) -> bytes:
         header = await reader.readexactly(protocol.HEADER_BYTES)
-        payload = await reader.readexactly(protocol.frame_length(header))
-        return protocol.decode_frame(payload)
+        return await reader.readexactly(protocol.frame_length(header))
 
     async def _send(self, writer: asyncio.StreamWriter,
-                    write_lock: asyncio.Lock, message: dict) -> None:
-        frame = protocol.encode_frame(message)
+                    write_lock: asyncio.Lock, message: dict | bytes,
+                    version: int = protocol.PROTOCOL_V1) -> None:
+        if isinstance(message, (bytes, bytearray, memoryview)):
+            payload = bytes(message)
+            frame = (len(payload).to_bytes(protocol.HEADER_BYTES, "big")
+                     + payload)
+        elif version >= 2:
+            frame = wire2.encode_frame(message)
+        else:
+            frame = protocol.encode_frame(message)
         async with write_lock:
             writer.write(frame)
             await writer.drain()
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
-        conn = self._new_connection()
+        conn: ConnectionContext | None = None
         write_lock = asyncio.Lock()
         tasks: set[asyncio.Task] = set()
         me = asyncio.current_task()
@@ -263,30 +324,39 @@ class FrameServerBase:
             self._connections.add(me)
         try:
             try:
-                hello = await self._read_frame(reader)
+                # the hello itself always travels as a v1 JSON frame —
+                # it is what decides whether v2 may be spoken at all
+                hello = protocol.decode_frame(
+                    await self._read_payload(reader))
             except (asyncio.IncompleteReadError, protocol.ProtocolError):
                 return
-            version = hello.get("version")
-            if hello.get("type") != "hello" or version != protocol.PROTOCOL_VERSION:
+            negotiated = (protocol.negotiated_version(hello)
+                          if hello.get("type") == "hello" else 0)
+            if negotiated == 0:
                 await self._send(writer, write_lock, protocol.error_response(
                     hello.get("id"),
                     protocol.ProtocolError(
-                        f"unsupported protocol: expected a hello frame with "
-                        f"version {protocol.PROTOCOL_VERSION}, got "
-                        f"{hello.get('type')!r} v{version!r}"),
+                        f"unsupported protocol: expected a hello frame "
+                        f"offering a version within "
+                        f"[{protocol.PROTOCOL_V1}, "
+                        f"{protocol.PROTOCOL_VERSION}], got "
+                        f"{hello.get('type')!r} v{hello.get('version')!r}"),
                     code="unsupported_version"))
                 return
-            await self._send(writer, write_lock, self._hello_response())
+            conn = ConnectionContext(negotiated, self._new_connection())
+            self._on_connect(conn)
+            await self._send(writer, write_lock,
+                             self._hello_response(conn, hello))
             while True:
                 try:
-                    message = await self._read_frame(reader)
+                    payload = await self._read_payload(reader)
                 except asyncio.IncompleteReadError:
                     break   # clean EOF (or mid-frame disconnect)
                 # one task per request: a slow solve must not stall a
                 # sibling session's feed on the same connection; response
                 # order is by completion, correlated by request id
                 task = asyncio.create_task(
-                    self._dispatch(message, conn, writer, write_lock))
+                    self._dispatch(payload, conn, writer, write_lock))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         except (ConnectionResetError, BrokenPipeError,
@@ -297,25 +367,36 @@ class FrameServerBase:
                 self._connections.discard(me)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
-            with contextlib.suppress(Exception):
-                await self._on_disconnect(conn)
+            if conn is not None:
+                with contextlib.suppress(Exception):
+                    await self._on_disconnect(conn)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    async def _dispatch(self, message: dict, conn: Any,
+    async def _dispatch(self, payload: bytes, conn: ConnectionContext,
                         writer: asyncio.StreamWriter,
                         write_lock: asyncio.Lock) -> None:
-        request_id = message.get("id")
+        version = 2 if wire2.is_v2_payload(payload) else 1
         try:
-            response = await self._respond(message, conn)
+            response = await self._respond_payload(payload, conn, version)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:   # noqa: BLE001 - typed error frame
+            # a malformed payload (bad array descriptor, undecodable
+            # frame) answers with a typed error and the connection stays
+            # open — the length prefix was valid, framing is still in
+            # sync.  Recover the correlation id from the frame header
+            # (for a v2 frame that costs O(header), even when it was the
+            # segment validation that failed).
+            request_id = None
+            with contextlib.suppress(Exception):
+                request_id = (wire2.peek(payload) if version == 2
+                              else protocol.decode_frame(payload)).get("id")
             response = protocol.error_response(request_id, exc)
         with contextlib.suppress(ConnectionResetError, BrokenPipeError,
                                  RuntimeError):
-            await self._send(writer, write_lock, response)
+            await self._send(writer, write_lock, response, version)
 
 
 class NetworkServer(FrameServerBase):
@@ -354,6 +435,9 @@ class NetworkServer(FrameServerBase):
         super().__init__(host=host, port=port)
         self.server = server if server is not None else Server(**server_options)
         self._shard_id = None if shard_id is None else str(shard_id)
+        # currently-open connections by negotiated generation; only ever
+        # touched on the serving loop, snapshotted into stats payloads
+        self._conn_counts = {1: 0, 2: 0}
         self._executor = ThreadPoolExecutor(
             max_workers=int(solve_workers),
             thread_name_prefix="repro-net-solve")
@@ -374,24 +458,58 @@ class NetworkServer(FrameServerBase):
     # ------------------------------------------------------------------ #
     # request handling
     # ------------------------------------------------------------------ #
-    def _hello_response(self) -> dict:
-        return protocol.hello_frame(shard_id=self.shard_id)
+    def _hello_response(self, conn: ConnectionContext, hello: dict) -> dict:
+        verdict = None
+        offer = hello.get("shm")
+        if offer is not None:
+            # same-host proof: attach the client's probe block and read
+            # its nonce back — a spoofed claim fails here and the
+            # connection simply continues on the socket lane
+            accepted = (conn.version >= 2
+                        and shm.ShmRegistry.verify_offer(offer))
+            if accepted:
+                conn.shm = shm.ShmRegistry()
+            verdict = bool(accepted)
+        return protocol.hello_frame(version=conn.version,
+                                    shard_id=self.shard_id, shm=verdict)
 
     def _new_connection(self) -> dict[str, ServerSession]:
         return {}
 
-    async def _on_disconnect(self, sessions: dict[str, ServerSession]) -> None:
+    def _on_connect(self, conn: ConnectionContext) -> None:
+        self._conn_counts[conn.version] += 1
+
+    async def _on_disconnect(self, conn: ConnectionContext) -> None:
+        self._conn_counts[conn.version] -= 1
         # close-on-disconnect: this connection's sessions die with it,
         # so an abandoned client cannot pin the session table
+        sessions = conn.state
         for handle in sessions.values():
             with contextlib.suppress(Exception):
                 handle.close()
         sessions.clear()
+        if conn.shm is not None:
+            # unlink the peer's shared-memory blocks: a crashed client
+            # must not leak them past its connection
+            conn.shm.close()
+            conn.shm = None
 
-    async def _respond(self, message: dict,
-                       sessions: dict[str, ServerSession]) -> dict:
+    def _image_in(self, wire: Any, conn: ConnectionContext):
+        """An inbound image payload: shared-memory reference or codec."""
+        if shm.is_shm_wire(wire):
+            if conn.shm is None:
+                raise protocol.ProtocolError(
+                    "shared-memory lane was not negotiated on this "
+                    "connection")
+            return conn.shm.resolve(wire)
+        return protocol.image_from_wire(wire)
+
+    async def _respond(self, message: dict, conn: ConnectionContext,
+                       version: int) -> dict:
         kind = message.get("type")
         request_id = message.get("id")
+        sessions: dict[str, ServerSession] = conn.state
+        binary = version >= 2
         loop = asyncio.get_running_loop()
 
         if kind == "solve":
@@ -404,7 +522,7 @@ class NetworkServer(FrameServerBase):
             return protocol.solution_response(request_id, solution)
 
         if kind == "process":
-            image = protocol.image_from_wire(message["image"])
+            image = self._image_in(message["image"], conn)
             # timeout=0: a full queue refuses immediately with the typed
             # overloaded error — network clients back off on retry_after
             # rather than holding the event loop hostage
@@ -413,7 +531,12 @@ class NetworkServer(FrameServerBase):
                                         algorithm=message.get("algorithm"),
                                         timeout=0.0)
             result = await asyncio.wrap_future(future)
-            return protocol.result_response(request_id, result)
+            # v2 responses omit the original image: it is the grayscale
+            # rendition of the request image, which the client rebuilds
+            # locally bit-exactly — the downlink never re-ships pixels
+            return protocol.result_response(request_id, result,
+                                            binary=binary,
+                                            include_original=not binary)
 
         if kind == "open_session":
             options = dict(message.get("options") or {})
@@ -432,10 +555,12 @@ class NetworkServer(FrameServerBase):
             if handle is None:
                 raise SessionClosedError(
                     f"unknown session {session_id!r} on this connection")
-            frame = protocol.image_from_wire(message["frame"])
+            frame = self._image_in(message["frame"], conn)
             future = handle.submit(frame, timeout=0.0)
             outcome = await asyncio.wrap_future(future)
-            return protocol.frame_response(request_id, outcome)
+            return protocol.frame_response(request_id, outcome,
+                                           binary=binary,
+                                           include_original=not binary)
 
         if kind == "close_session":
             session_id = message.get("session_id")
@@ -445,7 +570,10 @@ class NetworkServer(FrameServerBase):
             return protocol.session_closed_response(request_id, session_id)
 
         if kind == "stats":
-            stats = self.server.stats()
+            stats = dataclasses.replace(
+                self.server.stats(),
+                connections_v1=self._conn_counts[1],
+                connections_v2=self._conn_counts[2])
             shard_id = self.shard_id
             if shard_id is not None:
                 stats = dataclasses.replace(stats, shard_id=shard_id)

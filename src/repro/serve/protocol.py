@@ -26,9 +26,12 @@ integer arrays travel as raw bytes, floats survive via JSON's shortest
 round-trip ``repr``, so a decoded transform applies to an image with the
 exact same output pixels as the original.
 
-**Messages.**  Version negotiation (``hello`` both ways, version
-:data:`PROTOCOL_VERSION`; a server that is part of a cluster identifies
-itself with a ``shard_id``), the request types ``solve`` (histogram-only,
+**Messages.**  Version negotiation (``hello`` both ways; a client opens
+with its baseline ``version`` — always :data:`PROTOCOL_V1`, so pre-v2
+servers keep accepting it — plus an optional ``max_version`` advertising
+the newest generation it speaks, and the server answers with the highest
+version both sides share, :func:`negotiated_version`; a server that is
+part of a cluster identifies itself with a ``shard_id``), the request types ``solve`` (histogram-only,
 the paper-native fast path), ``process`` (full image), ``open_session`` /
 ``feed`` / ``close_session`` (the push-based stream surface), ``stats``
 and ``health`` (the cheap liveness probe of the cluster router),
@@ -48,6 +51,17 @@ content: the quantized grayscale-histogram signature of
 solution cache is keyed on.  A ``process`` request may carry it pre-stamped
 (the ``routing`` field) so a router never has to decode pixels to place the
 request on the shard whose cache already holds its solution.
+
+**Protocol v2.**  This module is the *message* codec; frames carrying the
+same messages can travel in two payload formats, negotiated per
+connection: the v1 JSON format defined here (arrays as base64 mappings —
+byte-for-byte unchanged since v1) and the v2 binary format of
+:mod:`repro.serve.wire2` (arrays as raw zero-copy segments).  Every
+``*_from_wire`` decoder accepts either leaf form — a base64 mapping or a
+decoded ``np.ndarray`` — so the layers above never care which codec a
+frame arrived in.  ``*_to_wire`` encoders take ``binary=True`` to emit
+ndarray leaves for wire2 to lift into segments (images additionally pack
+to ``uint8`` when the bit depth allows, halving pixel bytes).
 
 :mod:`repro.serve.net` is the asyncio server speaking this protocol;
 :mod:`repro.client` is the SDK; :mod:`repro.cluster` is the
@@ -87,6 +101,8 @@ from repro.serve.stats import ServerStats, SessionFrameStats
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_V1",
+    "negotiated_version",
     "MAX_FRAME_BYTES",
     "MAX_HISTOGRAM_PIXELS",
     "HEADER_BYTES",
@@ -113,6 +129,9 @@ __all__ = [
     "stats_response",
     "error_response",
     "exception_from_error",
+    "array_to_wire",
+    "array_from_wire",
+    "check_descriptor",
     "histogram_to_wire",
     "histogram_from_wire",
     "image_to_wire",
@@ -130,10 +149,17 @@ __all__ = [
     "server_stats_from_wire",
 ]
 
-#: Protocol generation spoken by this build.  Both ends open with a
-#: ``hello`` frame carrying their version; a server refuses a client it
+#: Newest protocol generation spoken by this build.  Both ends open with
+#: a ``hello`` frame; the server answers with the highest generation both
+#: sides share (:func:`negotiated_version`) and refuses a client it
 #: cannot speak to with an ``unsupported_version`` error frame.
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: The original JSON protocol generation — the baseline every peer
+#: speaks, and the ``version`` value a client's hello always carries
+#: (pre-v2 servers reject any other; newer generations ride in the
+#: separate ``max_version`` key those servers ignore).
+PROTOCOL_V1 = 1
 
 #: Frame header size: one big-endian unsigned 32-bit payload length.
 HEADER_BYTES = 4
@@ -201,7 +227,53 @@ def decode_frame(payload: bytes) -> dict:
 # --------------------------------------------------------------------- #
 # value codec: arrays, histograms, images
 # --------------------------------------------------------------------- #
-def _array_to_wire(array: np.ndarray) -> dict:
+def check_descriptor(dtype: Any, shape: Any,
+                     nbytes: int) -> tuple[np.dtype, tuple[int, ...]]:
+    """Validate a wire array descriptor against its payload length.
+
+    Both codecs funnel through here before ``np.frombuffer`` so a
+    malformed frame surfaces as a typed ``bad_request`` error instead of
+    a raw numpy exception server-side: the dtype must name a plain
+    bool/int/uint/float scalar (no object, void or structured dtypes —
+    those can execute pickle or hide padding), every dimension must be a
+    non-negative integer (``-1`` would make ``reshape`` silently *infer*
+    a shape the peer never declared), and the declared element count must
+    match the payload length exactly.
+
+    Returns the parsed ``(np.dtype, shape tuple)``.
+    """
+    try:
+        parsed = np.dtype(dtype)
+    except TypeError as exc:
+        raise ProtocolError(f"malformed array payload: {exc}") from exc
+    if parsed.kind not in "biuf":
+        raise ProtocolError(
+            f"malformed array payload: unsupported wire dtype {dtype!r}")
+    if not isinstance(shape, (list, tuple)):
+        raise ProtocolError(
+            f"malformed array payload: shape must be a list, "
+            f"got {type(shape).__name__}")
+    dims: list[int] = []
+    for dim in shape:
+        if isinstance(dim, bool) or not isinstance(dim, (int, np.integer)):
+            raise ProtocolError(
+                f"malformed array payload: non-integer dimension {dim!r}")
+        if dim < 0:
+            raise ProtocolError(
+                f"malformed array payload: negative dimension {dim!r}")
+        dims.append(int(dim))
+    count = 1
+    for dim in dims:
+        count *= dim
+    if count * parsed.itemsize != nbytes:
+        raise ProtocolError(
+            f"malformed array payload: shape {dims} of dtype "
+            f"{parsed.str} needs {count * parsed.itemsize} bytes, "
+            f"payload has {nbytes}")
+    return parsed, tuple(dims)
+
+
+def array_to_wire(array: np.ndarray) -> dict:
     """Bit-exact wire form of a numpy array (dtype + shape + base64 data)."""
     array = np.ascontiguousarray(array)
     return {
@@ -211,13 +283,25 @@ def _array_to_wire(array: np.ndarray) -> dict:
     }
 
 
-def _array_from_wire(wire: Mapping[str, Any]) -> np.ndarray:
+def array_from_wire(wire: Mapping[str, Any] | np.ndarray) -> np.ndarray:
+    """Decode a wire array leaf — a v1 base64 mapping, or an ndarray a v2
+    frame already materialized (returned as-is, still a zero-copy view)."""
+    if isinstance(wire, np.ndarray):
+        return wire
     try:
-        raw = base64.b64decode(wire["data"].encode("ascii"), validate=True)
-        array = np.frombuffer(raw, dtype=np.dtype(wire["dtype"]))
-        return array.reshape([int(n) for n in wire["shape"]]).copy()
+        raw = base64.b64decode(str(wire["data"]).encode("ascii"),
+                               validate=True)
+        declared_dtype = wire["dtype"]
+        declared_shape = wire["shape"]
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed array payload: {exc}") from exc
+    dtype, shape = check_descriptor(declared_dtype, declared_shape, len(raw))
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+# kept under the historical private names for in-package call sites
+_array_to_wire = array_to_wire
+_array_from_wire = array_from_wire
 
 
 def histogram_to_wire(histogram: Histogram) -> dict:
@@ -237,8 +321,26 @@ def histogram_from_wire(wire: Mapping[str, Any]) -> Histogram:
     return histogram
 
 
-def image_to_wire(image: Image) -> dict:
-    """Wire form of an image: raw pixels plus bit depth and name."""
+def image_to_wire(image: Image, *, binary: bool = False) -> dict:
+    """Wire form of an image: raw pixels plus bit depth and name.
+
+    With ``binary=True`` (v2 frames) the pixels stay an ``np.ndarray``
+    leaf for :mod:`repro.serve.wire2` to lift into a raw segment —
+    additionally packed to ``uint8`` when the bit depth fits, halving
+    the bytes of the common 8-bit case.  The dtype travels in the
+    segment descriptor, so decoding needs no extra flag:
+    :class:`~repro.imaging.image.Image` widens back to its uint16
+    internal storage bit-exactly.
+    """
+    if binary:
+        pixels = image.pixels
+        if image.bit_depth <= 8:
+            pixels = pixels.astype(np.uint8)
+        return {
+            "pixels": pixels,
+            "bit_depth": int(image.bit_depth),
+            "name": image.name,
+        }
     return {
         "pixels": _array_to_wire(image.pixels),
         "bit_depth": int(image.bit_depth),
@@ -384,12 +486,21 @@ def solution_from_wire(wire: Mapping[str, Any]) -> CompensationSolution:
         raise ProtocolError(f"malformed solution payload: {exc}") from exc
 
 
-def result_to_wire(result: CompensationResult) -> dict:
-    """Wire form of a full per-image result (``details`` stays server-side)."""
-    return {
+def result_to_wire(result: CompensationResult, *, binary: bool = False,
+                   include_original: bool = True) -> dict:
+    """Wire form of a full per-image result (``details`` stays server-side).
+
+    ``binary=True`` leaves pixel arrays as ndarray leaves for the v2
+    codec.  ``include_original=False`` (v2 responses) omits the
+    ``original`` image entirely: every algorithm sets it to the
+    grayscale rendition of the request image, which the requester can
+    reconstruct bit-exactly with :meth:`Image.to_grayscale
+    <repro.imaging.image.Image.to_grayscale>` — so the downlink never
+    re-ships pixels the client already has.
+    """
+    wire = {
         "algorithm": result.algorithm,
-        "original": image_to_wire(result.original),
-        "output": image_to_wire(result.output),
+        "output": image_to_wire(result.output, binary=binary),
         "backlight_factor": float(result.backlight_factor),
         "transform": transform_to_wire(result.transform),
         "distortion": float(result.distortion),
@@ -402,15 +513,28 @@ def result_to_wire(result: CompensationResult) -> dict:
         "from_cache": bool(result.from_cache),
         "replayed": bool(result.replayed),
     }
+    if include_original:
+        wire["original"] = image_to_wire(result.original, binary=binary)
+    return wire
 
 
-def result_from_wire(wire: Mapping[str, Any]) -> CompensationResult:
+def result_from_wire(wire: Mapping[str, Any], *,
+                     original: Image | None = None) -> CompensationResult:
+    """Rebuild a result; ``original`` supplies the image when the frame
+    omitted it (v2) — pass the request image's grayscale rendition."""
     try:
+        original_wire = wire.get("original")
+        if original_wire is not None:
+            original = image_from_wire(original_wire)
+        elif original is None:
+            raise ProtocolError(
+                "result payload omits 'original' and no request image "
+                "was provided to reconstruct it")
         program = wire.get("driver_program")
         budget = wire.get("max_distortion")
         return CompensationResult(
             algorithm=str(wire["algorithm"]),
-            original=image_from_wire(wire["original"]),
+            original=original,
             output=image_from_wire(wire["output"]),
             backlight_factor=float(wire["backlight_factor"]),
             transform=transform_from_wire(wire["transform"]),
@@ -428,9 +552,12 @@ def result_from_wire(wire: Mapping[str, Any]) -> CompensationResult:
         raise ProtocolError(f"malformed result payload: {exc}") from exc
 
 
-def stream_frame_to_wire(outcome: StreamFrameResult) -> dict:
+def stream_frame_to_wire(outcome: StreamFrameResult, *,
+                         binary: bool = False,
+                         include_original: bool = True) -> dict:
     return {
-        "result": result_to_wire(outcome.result),
+        "result": result_to_wire(outcome.result, binary=binary,
+                                 include_original=include_original),
         "requested_backlight": float(outcome.requested_backlight),
         "applied_backlight": float(outcome.applied_backlight),
         "scene_change": bool(outcome.scene_change),
@@ -438,10 +565,11 @@ def stream_frame_to_wire(outcome: StreamFrameResult) -> dict:
     }
 
 
-def stream_frame_from_wire(wire: Mapping[str, Any]) -> StreamFrameResult:
+def stream_frame_from_wire(wire: Mapping[str, Any], *,
+                           original: Image | None = None) -> StreamFrameResult:
     try:
         return StreamFrameResult(
-            result=result_from_wire(wire["result"]),
+            result=result_from_wire(wire["result"], original=original),
             requested_backlight=float(wire["requested_backlight"]),
             applied_backlight=float(wire["applied_backlight"]),
             scene_change=bool(wire["scene_change"]),
@@ -492,6 +620,8 @@ def server_stats_from_wire(wire: Mapping[str, Any]) -> ServerStats:
             sessions_evicted=int(wire.get("sessions_evicted", 0)),
             session_frames=int(wire.get("session_frames", 0)),
             sessions=sessions,
+            connections_v1=int(wire.get("connections_v1", 0)),
+            connections_v2=int(wire.get("connections_v2", 0)),
             shard_id=(None if wire.get("shard_id") is None
                       else str(wire["shard_id"])))
     except (KeyError, TypeError, ValueError) as exc:
@@ -501,19 +631,53 @@ def server_stats_from_wire(wire: Mapping[str, Any]) -> ServerStats:
 # --------------------------------------------------------------------- #
 # messages: handshake and requests
 # --------------------------------------------------------------------- #
-def hello_frame(version: int = PROTOCOL_VERSION,
-                shard_id: str | None = None) -> dict:
+def hello_frame(version: int = PROTOCOL_V1,
+                shard_id: str | None = None, *,
+                max_version: int | None = None,
+                shm: Any = None) -> dict:
     """The handshake message both ends open with.
 
+    ``version`` is the *baseline* generation — a client always sends
+    :data:`PROTOCOL_V1` there, because pre-v2 servers reject any other
+    value; the newest generation it speaks rides in ``max_version``,
+    which old servers ignore (and which is omitted when it would equal
+    ``version``, keeping the v1 handshake bytes pinned).  A server's
+    reply carries the negotiated generation in ``version``.
+
     A server that is part of a cluster identifies itself with its
-    ``shard_id`` (the attribution key of aggregated cluster stats); the
-    key is omitted entirely when ``None``, so the plain v1 handshake
-    bytes are unchanged.
+    ``shard_id`` (the attribution key of aggregated cluster stats).
+    ``shm`` carries the shared-memory-lane negotiation payload of
+    :mod:`repro.serve.shm`: a probe descriptor on the client hello, a
+    boolean verdict on the server reply.  Every optional key is omitted
+    entirely when unset, so the plain v1 handshake bytes are unchanged.
     """
     frame = {"type": "hello", "version": int(version)}
+    if max_version is not None and int(max_version) != int(version):
+        frame["max_version"] = int(max_version)
     if shard_id is not None:
         frame["shard_id"] = str(shard_id)
+    if shm is not None:
+        frame["shm"] = shm
     return frame
+
+
+def negotiated_version(hello: Mapping[str, Any]) -> int:
+    """The protocol generation to speak with the peer that sent ``hello``.
+
+    The peer offers the range ``[version, max(version, max_version)]``;
+    we speak ``[PROTOCOL_V1, PROTOCOL_VERSION]``.  Returns the highest
+    generation in both ranges, or ``0`` when the ranges are disjoint or
+    the hello malformed (→ answer ``unsupported_version`` and close).
+    """
+    try:
+        low = int(hello.get("version"))
+        high = int(hello.get("max_version", low))
+    except (TypeError, ValueError):
+        return 0
+    high = max(low, high)
+    if low < PROTOCOL_V1 or low > PROTOCOL_VERSION:
+        return 0
+    return min(high, PROTOCOL_VERSION)
 
 
 def routing_key(source: Image | Histogram) -> bytes:
@@ -549,7 +713,8 @@ def solve_request(request_id: int, source: Image | Histogram,
 
 def process_request(request_id: int, image: Image, max_distortion: float,
                     algorithm: str | None = None,
-                    routing: bytes | None = None) -> dict:
+                    routing: bytes | None = None, *,
+                    binary: bool = False) -> dict:
     """The full-image path: the server applies the solution and accounts
     distortion and power.
 
@@ -560,7 +725,7 @@ def process_request(request_id: int, image: Image, max_distortion: float,
     off-loop.
     """
     message = {"type": "process", "id": int(request_id),
-               "image": image_to_wire(image),
+               "image": image_to_wire(image, binary=binary),
                "max_distortion": float(max_distortion),
                "algorithm": algorithm}
     if routing is not None:
@@ -582,10 +747,19 @@ def open_session_request(request_id: int, max_distortion: float,
             "options": dict(options or {})}
 
 
-def feed_request(request_id: int, session_id: str, frame: Image) -> dict:
-    return {"type": "feed", "id": int(request_id),
-            "session_id": str(session_id),
-            "frame": image_to_wire(frame)}
+def feed_request(request_id: int, session_id: str, frame: Image, *,
+                 binary: bool = False,
+                 shm: Mapping[str, Any] | None = None) -> dict:
+    """``shm`` replaces the pixel payload with a shared-memory block
+    reference (:mod:`repro.serve.shm`) on a negotiated same-host lane —
+    the control frame still travels the socket, the pixels do not."""
+    message = {"type": "feed", "id": int(request_id),
+               "session_id": str(session_id)}
+    if shm is not None:
+        message["frame"] = {"shm": dict(shm)}
+    else:
+        message["frame"] = image_to_wire(frame, binary=binary)
+    return message
 
 
 def close_session_request(request_id: int, session_id: str) -> dict:
@@ -613,9 +787,12 @@ def solution_response(request_id: int,
             "solution": solution_to_wire(solution)}
 
 
-def result_response(request_id: int, result: CompensationResult) -> dict:
+def result_response(request_id: int, result: CompensationResult, *,
+                    binary: bool = False,
+                    include_original: bool = True) -> dict:
     return {"type": "result", "id": int(request_id),
-            "result": result_to_wire(result)}
+            "result": result_to_wire(result, binary=binary,
+                                     include_original=include_original)}
 
 
 def session_response(request_id: int, session_id: str) -> dict:
@@ -623,9 +800,13 @@ def session_response(request_id: int, session_id: str) -> dict:
             "session_id": str(session_id)}
 
 
-def frame_response(request_id: int, outcome: StreamFrameResult) -> dict:
+def frame_response(request_id: int, outcome: StreamFrameResult, *,
+                   binary: bool = False,
+                   include_original: bool = True) -> dict:
     return {"type": "frame", "id": int(request_id),
-            "outcome": stream_frame_to_wire(outcome)}
+            "outcome": stream_frame_to_wire(
+                outcome, binary=binary,
+                include_original=include_original)}
 
 
 def session_closed_response(request_id: int, session_id: str) -> dict:

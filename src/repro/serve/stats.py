@@ -147,6 +147,11 @@ class ServerStats:
     sessions:
         Per-session frame telemetry, keyed by session id (most recent
         sessions; bounded).
+    connections_v1, connections_v2:
+        Client connections currently open by negotiated protocol
+        generation — the observability handle on a mixed-version fleet
+        mid-migration.  Stamped by :class:`~repro.serve.net.NetworkServer`
+        (always 0 for an in-process server, which has no connections).
     shard_id:
         Identity of the serving shard this snapshot came from, for
         attribution inside aggregated cluster stats.  ``None`` for an
@@ -174,6 +179,8 @@ class ServerStats:
     sessions_evicted: int = 0
     session_frames: int = 0
     sessions: Mapping[str, SessionFrameStats] = field(default_factory=dict)
+    connections_v1: int = 0
+    connections_v2: int = 0
     shard_id: str | None = None
 
     @property
@@ -211,6 +218,8 @@ class ServerStats:
             "sessions_closed": self.sessions_closed,
             "sessions_evicted": self.sessions_evicted,
             "session_frames": self.session_frames,
+            "connections_v1": self.connections_v1,
+            "connections_v2": self.connections_v2,
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_replays": self.cache.replays,

@@ -283,3 +283,129 @@ def _image():
     from repro.imaging.image import Image
     rng = np.random.default_rng(0)
     return Image(rng.integers(0, 256, size=(12, 12)))
+
+
+class TestClientPipeline:
+    """Pipelined RPC over one socket: many requests in flight, replies
+    correlated by id in server completion order."""
+
+    def test_pipelined_batch_matches_lockstep(self, remote, pipeline,
+                                              small_suite):
+        network, _ = remote
+        host, port = network.address
+        engine = Engine(HEBSAlgorithm(pipeline))
+        images = list(small_suite.values()) * 2
+        with Client(host=host, port=port, timeout=60.0) as client:
+            with client.pipeline() as batch:
+                replies = [batch.process(image, 10.0) for image in images]
+                stats_reply = batch.stats()
+            for image, reply in zip(images, replies):
+                assert reply.result() == engine.process(image, 10.0)
+            assert stats_reply.result().completed >= len(images)
+
+    def test_results_readable_out_of_submission_order(self, remote,
+                                                      small_suite):
+        network, _ = remote
+        host, port = network.address
+        images = list(small_suite.values())
+        with Client(host=host, port=port, timeout=60.0) as client:
+            with client.pipeline() as batch:
+                replies = [batch.solve(image, 10.0) for image in images]
+                # resolve in reverse: each result() drains frames until
+                # its own id answers, parking the others
+                for reply in reversed(replies):
+                    assert 0.0 < reply.result().backlight_factor <= 1.0
+            assert all(reply.done for reply in replies)
+
+    def test_errors_park_on_their_reply_only(self, remote, small_suite):
+        network, _ = remote
+        host, port = network.address
+        good_image = next(iter(small_suite.values()))
+        with Client(host=host, port=port, timeout=60.0) as client:
+            with client.pipeline() as batch:
+                good = batch.process(good_image, 10.0)
+                bad = batch.process(good_image, -4.0)     # invalid budget
+                also_good = batch.solve(good_image, 10.0)
+            with pytest.raises(ValueError):
+                bad.result()
+            # neighbours are untouched by the failure
+            assert good.result().algorithm == "hebs"
+            assert 0.0 < also_good.result().backlight_factor <= 1.0
+
+    def test_lockstep_calls_are_refused_while_a_pipeline_is_open(
+            self, remote, lena):
+        network, _ = remote
+        host, port = network.address
+        with Client(host=host, port=port, timeout=60.0) as client:
+            with client.pipeline() as batch:
+                reply = batch.solve(lena, 10.0)
+                with pytest.raises(RuntimeError, match="pipeline"):
+                    client.process(lena, 10.0)
+            assert reply.result() is not None
+            # the client is back in lockstep mode after close
+            assert client.process(lena, 10.0).algorithm == "hebs"
+
+    def test_second_pipeline_on_the_same_client_is_refused(self, remote):
+        network, _ = remote
+        host, port = network.address
+        with Client(host=host, port=port) as client:
+            with client.pipeline():
+                with pytest.raises(RuntimeError, match="already open"):
+                    client.pipeline()
+            # ... but a fresh one after close is fine
+            with client.pipeline() as second:
+                assert second.stats().result().completed >= 0
+
+    def test_connection_loss_fails_every_outstanding_reply(self, lena):
+        fake = _ScriptedServer(["drop"])
+        try:
+            client = Client(*fake.address, retries=0)
+            batch = client.pipeline()
+            first = batch.solve(lena, 10.0)
+            second = batch.solve(lena, 10.0)
+            with pytest.raises(ConnectionError, match="pipeline"):
+                first.result()
+            # no retry, no reconnect: the whole batch fails together
+            with pytest.raises(ConnectionError):
+                second.result()
+            with pytest.raises(ConnectionError):
+                batch.solve(lena, 10.0)
+            batch.close()
+            client.close()
+        finally:
+            fake.close()
+
+    def test_close_drains_outstanding_replies(self, remote, small_suite):
+        network, _ = remote
+        host, port = network.address
+        images = list(small_suite.values())
+        with Client(host=host, port=port, timeout=60.0) as client:
+            batch = client.pipeline()
+            replies = [batch.solve(image, 10.0) for image in images]
+            batch.close()
+            batch.close()                      # idempotent
+            assert all(reply.done for reply in replies)
+            for reply in replies:
+                assert reply.result() is not None   # instant: already read
+
+    def test_submitting_after_close_is_refused(self, remote, lena):
+        network, _ = remote
+        host, port = network.address
+        with Client(host=host, port=port) as client:
+            batch = client.pipeline()
+            batch.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                batch.solve(lena, 10.0)
+
+    def test_pipeline_works_over_protocol_v1(self, remote, pipeline, lena):
+        network, _ = remote
+        host, port = network.address
+        engine = Engine(HEBSAlgorithm(pipeline))
+        with Client(host=host, port=port, max_version=1,
+                    timeout=60.0) as client:
+            assert client.protocol_version == 1
+            with client.pipeline() as batch:
+                replies = [batch.process(lena, 10.0) for _ in range(3)]
+            want = engine.process(lena, 10.0)
+            for reply in replies:
+                assert reply.result() == want

@@ -21,9 +21,10 @@ from repro.cli import build_parser
 
 REPO = Path(__file__).resolve().parents[2]
 
-READY_SERVE = re.compile(r"serving on ([\d.]+):(\d+) \(protocol v1\)")
+READY_SERVE = re.compile(r"serving on ([\d.]+):(\d+) \(protocol v1\+v2\)")
 READY_CLUSTER = re.compile(
-    r"cluster serving on ([\d.]+):(\d+) over (\d+) shards? \(protocol v1\)")
+    r"cluster serving on ([\d.]+):(\d+) over (\d+) shards? "
+    r"\(protocol v1\+v2\)")
 
 
 def spawn(*args: str) -> subprocess.Popen:

@@ -120,6 +120,8 @@ class TestClusterCounters:
         payload = counters.as_dict()
         assert payload == {"routed": {"a": 1, "b": 2},
                            "sessions_routed": {"a": 1},
-                           "failovers": 1}
+                           "failovers": 1,
+                           "frames_fast_path": 0,
+                           "frames_transcoded": 0}
         assert list(payload["routed"]) == ["a", "b"]
         json.dumps(payload)

@@ -346,6 +346,133 @@ class TestAggregatedStats:
         assert payload["cluster"]["shards_down"] == [router.shards[0]]
 
 
+class TestProtocolV2Routing:
+    """The bytes-through fast path: v2 frames between v2 peers cross the
+    router with only an O(header) restamp, and a v1-capped shard fleet
+    gets transcoded frames — both bit-identical to the in-process
+    engine."""
+
+    def test_v2_process_takes_the_fast_path(self, pipeline, client, router,
+                                            baboon):
+        reference = Engine(HEBSAlgorithm(pipeline)).process(baboon, 10.0)
+        assert client.protocol_version == 2
+        remote = client.process(baboon, 10.0)
+        assert remote == reference
+        assert router.counters.frames_fast_path >= 1
+        assert router.counters.frames_transcoded == 0
+
+    def test_v2_solve_takes_the_fast_path(self, client, router, lena):
+        solution = client.solve(Histogram.of_image(lena), 10.0)
+        assert 0.0 < solution.backlight_factor <= 1.0
+        assert router.counters.frames_fast_path >= 1
+
+    def test_v2_session_feeds_take_the_fast_path(self, pipeline, client,
+                                                 router, small_suite):
+        frames = list(small_suite.values())
+        with Engine(HEBSAlgorithm(pipeline)).open_session(10.0) as local:
+            expected = [local.submit(frame) for frame in frames]
+        with client.open_session(10.0) as session:
+            actual = [session.submit(frame) for frame in frames]
+        for got, want in zip(actual, expected):
+            assert got.result == want.result
+        assert router.counters.frames_fast_path >= len(frames)
+
+    def test_v1_client_through_a_v2_fleet(self, pipeline, router, baboon):
+        # cross-version matrix: the router speaks v1 toward the client
+        # and v2 toward the shards; outputs stay bit-identical
+        reference = Engine(HEBSAlgorithm(pipeline)).process(baboon, 10.0)
+        host, port = router.address
+        with Client(host=host, port=port, max_version=1,
+                    timeout=20.0) as v1:
+            assert v1.protocol_version == 1
+            assert v1.process(baboon, 10.0) == reference
+
+    def test_mixed_clients_share_the_router(self, pipeline, router,
+                                            small_suite):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        host, port = router.address
+        with Client(host=host, port=port, max_version=1) as v1, \
+                Client(host=host, port=port) as v2:
+            for frame in small_suite.values():
+                want = engine.process(frame, 10.0)
+                assert v1.process(frame, 10.0) == want
+                assert v2.process(frame, 10.0) == want
+
+    def test_routing_counters_ride_the_stats_rpc(self, client, router,
+                                                 lena):
+        client.process(lena, 10.0)
+        payload = client.stats_dict()
+        cluster = payload["cluster"]
+        assert cluster["frames_fast_path"] == \
+            router.counters.frames_fast_path
+        assert cluster["frames_transcoded"] == \
+            router.counters.frames_transcoded
+        assert payload["connections_v2"] >= 1   # shard-side gauges summed
+
+    def test_router_never_accepts_the_shm_lane(self, router, lena):
+        # the pixels must cross the network to a shard; a same-host claim
+        # against the *router* is meaningless and is never echoed
+        host, port = router.address
+        with Client(host=host, port=port, shm=True, timeout=20.0) as c:
+            assert c._shm is None or not c._shm.active
+            assert c.process(lena, 10.0).algorithm == "hebs"
+
+    def test_pipelined_batch_through_the_router(self, pipeline, client,
+                                                small_suite):
+        engine = Engine(HEBSAlgorithm(pipeline))
+        images = list(small_suite.values())
+        with client.pipeline() as batch:
+            replies = [batch.process(image, 10.0) for image in images]
+        for image, reply in zip(images, replies):
+            assert reply.result() == engine.process(image, 10.0)
+
+
+class TestV1ShardFleet:
+    """A router pinned to v1 toward its shards (`shard_max_version=1`)
+    transcodes v2 client traffic instead of forwarding bytes."""
+
+    @pytest.fixture()
+    def v1_router(self, shards):
+        addresses = [f"{host}:{port}" for host, port in
+                     (shard.address for shard in shards)]
+        with ClusterRouter(addresses, health_interval=30.0,
+                           health_timeout=2.0, request_timeout=20.0,
+                           shard_max_version=1) as instance:
+            yield instance
+
+    def test_v2_client_traffic_is_transcoded(self, pipeline, v1_router,
+                                             baboon):
+        reference = Engine(HEBSAlgorithm(pipeline)).process(baboon, 10.0)
+        host, port = v1_router.address
+        with Client(host=host, port=port, timeout=20.0) as v2:
+            assert v2.protocol_version == 2
+            assert v2.process(baboon, 10.0) == reference
+        assert v1_router.counters.frames_transcoded >= 1
+        assert v1_router.counters.frames_fast_path == 0
+
+    def test_sessions_cross_the_version_boundary(self, pipeline, v1_router,
+                                                 small_suite):
+        frames = list(small_suite.values())
+        with Engine(HEBSAlgorithm(pipeline)).open_session(10.0) as local:
+            expected = [local.submit(frame) for frame in frames]
+        host, port = v1_router.address
+        with Client(host=host, port=port, timeout=20.0) as v2:
+            with v2.open_session(10.0) as session:
+                actual = [session.submit(frame) for frame in frames]
+        for got, want in zip(actual, expected):
+            assert got.result == want.result
+            assert got.applied_backlight == want.applied_backlight
+
+    def test_links_report_the_negotiated_shard_version(self, v1_router,
+                                                       lena):
+        host, port = v1_router.address
+        with Client(host=host, port=port, timeout=20.0) as v2:
+            v2.solve(Histogram.of_image(lena), 10.0)
+        assert all(link.version == 1
+                   for link in v1_router._links.values()
+                   if link is not None)
+
+
 class TestRouterSurface:
     def test_router_hello_carries_router_identity(self, router):
         import socket

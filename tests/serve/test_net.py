@@ -124,8 +124,8 @@ class TestRemoteErrors:
             response_error = None
             try:
                 fresh._request(
-                    lambda request_id: protocol.feed_request(
-                        request_id, "s99999", _tiny_image()),
+                    lambda request_id, binary: protocol.feed_request(
+                        request_id, "s99999", _tiny_image(), binary=binary),
                     expected="frame", reconnect=False)
             except SessionClosedError as exc:
                 response_error = exc
@@ -322,6 +322,171 @@ class TestConnectionLifecycle:
         client.close()
 
 
+class TestProtocolV2:
+    def test_default_client_negotiates_v2(self, net, client):
+        assert client.protocol_version == 2
+        assert "protocol v2" in repr(client)
+
+    def test_capped_client_stays_on_v1(self, net, pipeline, baboon):
+        host, port = net.address
+        reference = Engine(HEBSAlgorithm(pipeline)).process(baboon, 10.0)
+        with Client(host=host, port=port, max_version=1) as v1:
+            assert v1.protocol_version == 1
+            assert "protocol v1" in repr(v1)
+            assert v1.process(baboon, 10.0) == reference
+
+    def test_invalid_max_version_is_rejected_client_side(self):
+        with pytest.raises(ValueError, match="max_version"):
+            Client(max_version=3)
+        with pytest.raises(ValueError, match="max_version"):
+            Client(max_version=0)
+
+    def test_v1_and_v2_lanes_are_bit_identical(self, net, pipeline,
+                                               small_suite):
+        host, port = net.address
+        engine = Engine(HEBSAlgorithm(pipeline))
+        frames = list(small_suite.values())
+        with Client(host=host, port=port, max_version=1) as v1, \
+                Client(host=host, port=port) as v2:
+            for frame in frames:
+                want = engine.process(frame, 10.0)
+                assert v1.process(frame, 10.0) == want
+                assert v2.process(frame, 10.0) == want
+
+    def test_v2_session_feed_matches_in_process_stream(self, net, pipeline,
+                                                       small_suite):
+        host, port = net.address
+        frames = list(small_suite.values()) * 2
+        with Engine(HEBSAlgorithm(pipeline)).open_session(10.0) as reference:
+            expected = [reference.submit(frame) for frame in frames]
+        with Client(host=host, port=port) as v2:
+            assert v2.protocol_version == 2
+            with v2.open_session(10.0) as session:
+                actual = [session.submit(frame) for frame in frames]
+        for got, want in zip(actual, expected):
+            assert got.result == want.result
+            assert got.applied_backlight == want.applied_backlight
+
+    def test_v2_ships_fewer_bytes_than_v1(self, net, baboon):
+        host, port = net.address
+
+        def traffic(**options):
+            with Client(host=host, port=port, **options) as instance:
+                instance.process(baboon, 10.0)
+                return instance.bytes_sent + instance.bytes_received
+
+        assert traffic() * 3 <= traffic(max_version=1)
+
+    def test_connection_version_counters_in_stats(self, net):
+        host, port = net.address
+        with Client(host=host, port=port) as v2, \
+                Client(host=host, port=port, max_version=1) as v1:
+            payload = v2.stats_dict()
+            assert payload["connections_v2"] >= 1
+            assert payload["connections_v1"] >= 1
+            before_v1 = payload["connections_v1"]
+            v1.process(_tiny_image(), 10.0)    # keep the v1 client live
+        # ... and they are gauges: the counts drop on disconnect
+        deadline = time.monotonic() + 10.0
+        with Client(host=host, port=port) as probe:
+            while probe.stats_dict()["connections_v1"] >= before_v1:
+                assert time.monotonic() < deadline, \
+                    "v1 connection gauge never dropped"
+                time.sleep(0.01)
+
+    def test_disconnected_client_repr(self):
+        assert "disconnected" in repr(Client(port=1))
+
+
+def _handshake(sock: socket.socket, max_version: int = 2) -> dict:
+    from repro.serve import wire2
+
+    sock.sendall(protocol.encode_frame(
+        protocol.hello_frame(max_version=max_version)))
+    header = _recv_exactly(sock, 4)
+    return protocol.decode_frame(
+        _recv_exactly(sock, protocol.frame_length(header)))
+
+
+def _exchange_raw(sock: socket.socket, payload: bytes) -> tuple[int, dict]:
+    from repro.serve import wire2
+
+    sock.sendall(len(payload).to_bytes(4, "big") + payload)
+    header = _recv_exactly(sock, 4)
+    return wire2.decode_any(
+        _recv_exactly(sock, protocol.frame_length(header)))
+
+
+class TestMalformedArrayFrames:
+    """Satellite regression: a malformed wire array (shape/payload
+    mismatch, unrecognized dtype) must come back as a typed bad_request
+    error frame and LEAVE THE CONNECTION OPEN — these used to kill the
+    connection with a raw numpy exception."""
+
+    def _bad_process_v2(self, *, dtype: str = "|u1",
+                        shape=None) -> bytes:
+        import json as _json
+
+        descriptor = {"$seg": 0, "dtype": dtype,
+                      "shape": [5, 5] if shape is None else shape}
+        header = _json.dumps(
+            {"type": "process", "id": 31,
+             "image": {"pixels": descriptor, "bit_depth": 8, "name": "x"},
+             "max_distortion": 10.0, "algorithm": None},
+            separators=(",", ":")).encode()
+        segment = b"\x00" * 16
+        return (b"R2\x02\x00" + len(header).to_bytes(4, "big")
+                + (1).to_bytes(2, "big") + len(segment).to_bytes(4, "big")
+                + header + segment)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"shape": [5, 5]},          # declares 25 bytes, payload has 16
+        {"dtype": "V4", "shape": [4]},      # void dtype
+        {"shape": [-1]},            # reshape inference
+    ])
+    def test_v2_bad_array_is_a_bad_request_and_the_socket_survives(
+            self, net, kwargs):
+        host, port = net.address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            assert _handshake(sock)["version"] == 2
+            version, frame = _exchange_raw(sock, self._bad_process_v2(
+                **kwargs))
+            assert version == 2    # the reply travels the request's codec
+            assert frame["type"] == "error"
+            assert frame["code"] == "bad_request"
+            assert frame["id"] == 31
+            # the connection is still serving: a well-formed request on
+            # the very same socket answers normally
+            version, frame = _exchange_raw(
+                sock, protocol.encode_frame(protocol.stats_request(32))[4:])
+            assert (version, frame["type"]) == (1, "stats")
+
+    def test_v1_bad_array_is_a_bad_request_and_the_socket_survives(
+            self, net):
+        host, port = net.address
+        bad = protocol.process_request(7, _tiny_image(), 10.0)
+        bad["image"]["pixels"]["shape"] = [3]    # mismatches the payload
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            assert _handshake(sock, max_version=1)["version"] == 1
+            version, frame = _exchange_raw(
+                sock, protocol.encode_frame(bad)[4:])
+            assert (version, frame["type"]) == (1, "error")
+            assert frame["code"] == "bad_request"
+            assert frame["id"] == 7
+            version, frame = _exchange_raw(
+                sock, protocol.encode_frame(protocol.stats_request(8))[4:])
+            assert frame["type"] == "stats"
+
+    def test_malformed_v2_envelope_is_a_bad_request(self, net):
+        host, port = net.address
+        with socket.create_connection((host, port), timeout=10.0) as sock:
+            assert _handshake(sock)["version"] == 2
+            # valid prefix, truncated body: still a typed refusal
+            version, frame = _exchange_raw(sock, b"R2\x02\x00" + b"\xff" * 8)
+            assert frame["type"] == "error"
+            assert frame["code"] == "bad_request"
+
+
 class TestAsyncClient:
     def test_async_client_full_surface(self, net, lena, pout):
         import asyncio
@@ -360,3 +525,57 @@ class TestAsyncClient:
         results = asyncio.run(scenario())
         assert [r.original for r in results] == \
             [image.to_grayscale() for image in images]
+
+    def test_async_client_negotiates_v2_and_says_so(self, net):
+        import asyncio
+
+        host, port = net.address
+
+        async def scenario():
+            client = AsyncClient(host=host, port=port)
+            assert "disconnected" in repr(client)
+            async with client:
+                await client.stats()
+                assert client.protocol_version == 2
+                assert "protocol v2" in repr(client)
+
+        asyncio.run(scenario())
+
+    def test_async_client_can_be_capped_to_v1(self, net, lena, pipeline):
+        import asyncio
+
+        host, port = net.address
+        reference = Engine(HEBSAlgorithm(pipeline)).process(lena, 10.0)
+
+        async def scenario():
+            async with AsyncClient(host=host, port=port,
+                                   max_version=1) as client:
+                result = await client.process(lena, 10.0)
+                assert client.protocol_version == 1
+                assert result == reference
+
+        asyncio.run(scenario())
+
+    def test_one_async_client_multiplexes_concurrent_calls(self, net,
+                                                           pipeline,
+                                                           small_suite):
+        import asyncio
+
+        host, port = net.address
+        engine = Engine(HEBSAlgorithm(pipeline))
+        images = list(small_suite.values()) * 2
+        expected = [engine.process(image, 10.0) for image in images]
+
+        async def scenario():
+            # ONE connection, many in-flight requests: responses come
+            # back in whatever order the server finishes and must be
+            # correlated by id, not arrival order
+            async with AsyncClient(host=host, port=port) as client:
+                results = await asyncio.gather(
+                    *(client.process(image, 10.0) for image in images))
+                assert client.protocol_version == 2
+                return results
+
+        results = asyncio.run(scenario())
+        for got, want in zip(results, expected):
+            assert got == want

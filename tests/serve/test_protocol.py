@@ -345,3 +345,106 @@ class TestSolutionAndResultCodec:
             _json_trip(protocol.solution_to_wire(solution)))
         assert back.driver_program is None
         assert back.transform == solution.transform
+
+
+# --------------------------------------------------------------------- #
+# protocol v2: version negotiation
+# --------------------------------------------------------------------- #
+class TestVersionNegotiation:
+    def test_v1_golden_hello_bytes_are_unchanged(self):
+        # a v2-capable client's hello keeps version=1 as the baseline;
+        # max_version rides alongside, so pre-v2 servers still accept it
+        frame = protocol.encode_frame(
+            protocol.hello_frame(max_version=protocol.PROTOCOL_VERSION))
+        payload = b'{"type":"hello","version":1,"max_version":2}'
+        assert frame == len(payload).to_bytes(4, "big") + payload
+
+    def test_max_version_is_omitted_when_equal_to_version(self):
+        assert protocol.hello_frame(max_version=1) == \
+            {"type": "hello", "version": 1}
+
+    @pytest.mark.parametrize("hello, want", [
+        ({"type": "hello", "version": 1}, 1),                    # v1 peer
+        ({"type": "hello", "version": 1, "max_version": 2}, 2),  # v2 peer
+        ({"type": "hello", "version": 1, "max_version": 99}, 2), # future peer
+        ({"type": "hello", "version": 2}, 2),      # v2 baseline (server)
+        ({"type": "hello", "version": 99}, 0),     # disjoint: refuse
+        ({"type": "hello", "version": 0}, 0),
+        ({"type": "hello"}, 0),                    # malformed
+        ({"type": "hello", "version": "fast"}, 0),
+        ({"type": "hello", "version": 1, "max_version": "x"}, 0),
+    ])
+    def test_negotiated_version_matrix(self, hello, want):
+        assert protocol.negotiated_version(hello) == want
+
+    def test_max_version_below_version_never_lowers_the_offer(self):
+        hello = {"type": "hello", "version": 2, "max_version": 1}
+        assert protocol.negotiated_version(hello) == 2
+
+    def test_shm_offer_rides_the_hello(self):
+        frame = protocol.hello_frame(max_version=2, shm={"token": "t"})
+        assert frame["shm"] == {"token": "t"}
+        assert "shm" not in protocol.hello_frame()
+
+
+# --------------------------------------------------------------------- #
+# strict array descriptors (shared by the v1 and v2 codecs)
+# --------------------------------------------------------------------- #
+class TestArrayDescriptors:
+    """Failing-before regressions: each of these malformed descriptors
+    used to reach numpy raw (reshape inference, struct dtypes) instead of
+    surfacing as a typed ProtocolError → bad_request frame."""
+
+    def _wire(self, **overrides) -> dict:
+        wire = protocol.array_to_wire(np.arange(4, dtype=np.uint8))
+        wire.update(overrides)
+        return wire
+
+    def test_base64_array_round_trips(self):
+        array = np.arange(12, dtype=np.uint16).reshape(3, 4)
+        back = protocol.array_from_wire(
+            _json_trip(protocol.array_to_wire(array)))
+        assert np.array_equal(back, array)
+        assert back.dtype == array.dtype
+
+    def test_ndarray_leaf_passes_through(self):
+        # a v2 frame already materialized its arrays: pass-through
+        array = np.arange(3, dtype=np.float64)
+        assert protocol.array_from_wire(array) is array
+
+    def test_negative_dimension_rejected(self):
+        # shape [-1] would make reshape *infer* a 4-element shape the
+        # peer never declared
+        with pytest.raises(protocol.ProtocolError, match="negative"):
+            protocol.array_from_wire(self._wire(shape=[-1]))
+
+    def test_unrecognized_dtype_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="dtype"):
+            protocol.array_from_wire(self._wire(dtype="V4", shape=[1]))
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="dtype"):
+            protocol.array_from_wire(self._wire(dtype="O"))
+
+    def test_structured_dtype_rejected(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.array_from_wire(self._wire(dtype=[("a", "u1")]))
+
+    def test_boolean_dimension_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="non-integer"):
+            protocol.array_from_wire(self._wire(shape=[True, 4]))
+
+    def test_shape_payload_mismatch_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="payload has 4"):
+            protocol.array_from_wire(self._wire(shape=[5]))
+
+    def test_invalid_base64_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="malformed"):
+            protocol.array_from_wire(self._wire(data="!!!not base64!!!"))
+
+    def test_check_descriptor_accepts_the_valid_forms(self):
+        dtype, shape = protocol.check_descriptor("<u2", [3, 4], 24)
+        assert dtype == np.dtype("<u2")
+        assert shape == (3, 4)
+        # zero-sized arrays are legal
+        assert protocol.check_descriptor("|u1", [0, 7], 0)[1] == (0, 7)

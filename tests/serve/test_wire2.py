@@ -1,0 +1,282 @@
+"""Tests for the protocol v2 binary codec (repro.serve.wire2).
+
+The contract under test: a golden byte-pinned frame (the envelope layout
+is a wire format, not an implementation detail), bit-exact round-trips
+with zero-copy array views, O(header) peek/restamp for the router's
+bytes-through path, the v1 transcode fallback, and strict envelope
+validation — every malformed frame must surface as ProtocolError, never
+a raw struct/numpy exception.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import Histogram
+from repro.serve import protocol, wire2
+from repro.serve.protocol import ProtocolError
+
+
+def _trip(message: dict) -> dict:
+    return wire2.decode_message(wire2.encode_message(message))
+
+
+class TestGoldenFrame:
+    def test_golden_frame_bytes(self):
+        # pinned hand-assembled envelope: any byte that moves breaks
+        # deployed peers
+        message = {"type": "demo", "id": 3,
+                   "data": np.arange(4, dtype=np.uint8)}
+        header = (b'{"type":"demo","id":3,'
+                  b'"data":{"$seg":0,"dtype":"|u1","shape":[4]}}')
+        want = (b"R2"                          # magic
+                + b"\x02"                      # wire version
+                + b"\x00"                      # flags
+                + len(header).to_bytes(4, "big")
+                + (1).to_bytes(2, "big")       # nseg
+                + (4).to_bytes(4, "big")       # segment length table
+                + header
+                + b"\x00\x01\x02\x03")         # raw segment bytes
+        assert wire2.encode_message(message) == want
+
+    def test_encode_frame_adds_the_length_prefix(self):
+        message = {"type": "stats", "id": 1}
+        payload = wire2.encode_message(message)
+        frame = wire2.encode_frame(message)
+        assert frame == len(payload).to_bytes(4, "big") + payload
+
+    def test_segmentless_frame_is_pure_header(self):
+        payload = wire2.encode_message({"type": "stats", "id": 9})
+        assert payload[8:10] == b"\x00\x00"    # nseg = 0
+        assert json.loads(payload[10:]) == {"type": "stats", "id": 9}
+
+    def test_magic_cannot_collide_with_v1(self):
+        # every v1 payload is a JSON object: first byte "{" != "R"
+        v1 = protocol.encode_frame(protocol.hello_frame())[4:]
+        assert not wire2.is_v2_payload(v1)
+        assert wire2.is_v2_payload(wire2.encode_message({"type": "x"}))
+
+
+class TestRoundTrips:
+    def test_arrays_round_trip_bit_exactly(self):
+        rng = np.random.default_rng(3)
+        for dtype in (np.uint8, np.uint16, np.int32, np.float64):
+            array = rng.integers(0, 200, (17, 5)).astype(dtype)
+            got = _trip({"type": "demo", "a": array})["a"]
+            assert got.dtype == array.dtype
+            assert np.array_equal(got, array)
+
+    def test_decoded_arrays_are_zero_copy_readonly_views(self):
+        payload = wire2.encode_message(
+            {"type": "demo", "a": np.arange(6, dtype=np.uint16)})
+        array = wire2.decode_message(payload)["a"]
+        assert not array.flags.writeable
+        with pytest.raises(ValueError):
+            array[0] = 1
+
+    def test_nested_and_listed_arrays(self):
+        message = {"type": "demo",
+                   "outer": {"inner": np.arange(3, dtype=np.uint8)},
+                   "many": [np.zeros(2, dtype=np.float64),
+                            np.ones((2, 2), dtype=np.int16)]}
+        got = _trip(message)
+        assert np.array_equal(got["outer"]["inner"],
+                              message["outer"]["inner"])
+        assert np.array_equal(got["many"][1], message["many"][1])
+
+    def test_plain_json_leaves_survive_unchanged(self):
+        message = {"type": "solve", "id": 5, "algorithm": None,
+                   "max_distortion": 10.0, "histogram": {"counts": [1, 2]}}
+        assert _trip(message) == message
+
+    def test_process_request_via_both_codecs_decodes_the_same_image(
+            self, lena):
+        v1 = protocol.process_request(1, lena, 10.0)
+        v2 = wire2.decode_message(wire2.encode_message(
+            protocol.process_request(1, lena, 10.0, binary=True)))
+        a = protocol.image_from_wire(v1["image"])
+        b = protocol.image_from_wire(v2["image"])
+        assert np.array_equal(a.pixels, b.pixels)
+        assert a.bit_depth == b.bit_depth
+
+    def test_binary_image_packs_8bit_pixels_to_one_byte(self, lena):
+        v1 = wire2.encode_message(protocol.process_request(1, lena, 10.0))
+        v2 = wire2.encode_message(
+            protocol.process_request(1, lena, 10.0, binary=True))
+        # u8 packing + no base64: >2.5x smaller on the uplink alone (the
+        # full >=3x wire gate adds the downlink's omitted original image
+        # and lives in benchmarks/test_network.py)
+        assert len(v1) >= 2.5 * len(v2)
+
+    def test_empty_array_round_trips(self):
+        got = _trip({"type": "demo", "a": np.zeros((0, 4), dtype=np.uint8)})
+        assert got["a"].shape == (0, 4)
+
+
+class TestDecodeAny:
+    def test_sniffs_v1(self):
+        message = protocol.hello_frame()
+        version, got = wire2.decode_any(protocol.encode_frame(message)[4:])
+        assert (version, got) == (1, message)
+
+    def test_sniffs_v2(self):
+        version, got = wire2.decode_any(
+            wire2.encode_message({"type": "stats", "id": 2}))
+        assert (version, got) == (2, {"type": "stats", "id": 2})
+
+
+class TestPeekAndRestamp:
+    def test_peek_leaves_descriptors_as_plain_dicts(self):
+        payload = wire2.encode_message(
+            {"type": "feed", "id": 4, "session_id": "s1",
+             "frame": {"pixels": np.arange(4, dtype=np.uint8)}})
+        header = wire2.peek(payload)
+        assert header["id"] == 4
+        assert header["session_id"] == "s1"
+        assert header["frame"]["pixels"] == {
+            "$seg": 0, "dtype": "|u1", "shape": [4]}
+
+    def test_restamp_rewrites_the_id_and_splices_segments_verbatim(self):
+        pixels = np.arange(64, dtype=np.uint8).reshape(8, 8)
+        payload = wire2.encode_message(
+            {"type": "process", "id": 7, "image": {"pixels": pixels}})
+        stamped = wire2.restamp(payload, 99)
+        # same trailing segment bytes, byte for byte
+        assert stamped[-pixels.nbytes:] == payload[-pixels.nbytes:]
+        message = wire2.decode_message(stamped)
+        assert message["id"] == 99
+        assert np.array_equal(message["image"]["pixels"], pixels)
+
+    def test_restamp_rewrites_the_session_id(self):
+        payload = wire2.encode_message(
+            {"type": "feed", "id": 1, "session_id": "public",
+             "frame": {"pixels": np.arange(3, dtype=np.uint8)}})
+        stamped = wire2.restamp(payload, 2, session_id="s00004")
+        header = wire2.peek(stamped)
+        assert header["id"] == 2
+        assert header["session_id"] == "s00004"
+
+    def test_restamp_of_a_segmentless_frame(self):
+        payload = wire2.encode_message({"type": "stats", "id": 1})
+        assert wire2.peek(wire2.restamp(payload, 42))["id"] == 42
+
+
+class TestDowngrade:
+    def test_downgrade_produces_json_safe_v1_form(self, pout):
+        message = wire2.decode_message(wire2.encode_message(
+            protocol.process_request(3, pout, 10.0, binary=True)))
+        downgraded = wire2.downgrade_message(message)
+        json.dumps(downgraded)      # pure JSON: encodable by the v1 codec
+        image = protocol.image_from_wire(downgraded["image"])
+        assert np.array_equal(image.pixels, pout.pixels)
+
+    def test_downgrade_is_identity_for_arrayless_messages(self, lena):
+        message = protocol.solve_request(1, Histogram.of_image(lena), 10.0)
+        assert wire2.downgrade_message(message) == message
+
+
+class TestMalformedEnvelopes:
+    def _payload(self) -> bytes:
+        return wire2.encode_message(
+            {"type": "demo", "id": 1, "a": np.arange(4, dtype=np.uint8)})
+
+    def test_truncated_prefix(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            wire2.decode_message(b"R2\x02")
+
+    def test_bad_magic(self):
+        payload = b"XX" + self._payload()[2:]
+        with pytest.raises(ProtocolError, match="magic"):
+            wire2.decode_message(payload)
+
+    def test_unknown_wire_generation(self):
+        payload = self._payload()
+        with pytest.raises(ProtocolError, match="generation"):
+            wire2.decode_message(payload[:2] + b"\x09" + payload[3:])
+
+    def test_segment_table_cut_short(self):
+        payload = self._payload()
+        with pytest.raises(ProtocolError):
+            wire2.decode_message(payload[:11])
+
+    def test_header_cut_short(self):
+        payload = self._payload()
+        with pytest.raises(ProtocolError):
+            wire2.decode_message(payload[:20])
+
+    def test_slack_bytes_rejected(self):
+        with pytest.raises(ProtocolError, match="cover"):
+            wire2.decode_message(self._payload() + b"\x00")
+
+    def test_missing_segment_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire2.decode_message(self._payload()[:-1])
+
+    def test_non_object_header_rejected(self):
+        header = b"[1,2]"
+        payload = (b"R2\x02\x00" + len(header).to_bytes(4, "big")
+                   + b"\x00\x00" + header)
+        with pytest.raises(ProtocolError, match="object"):
+            wire2.decode_message(payload)
+
+    def test_undecodable_header_rejected(self):
+        header = b"{broken"
+        payload = (b"R2\x02\x00" + len(header).to_bytes(4, "big")
+                   + b"\x00\x00" + header)
+        with pytest.raises(ProtocolError, match="header"):
+            wire2.decode_message(payload)
+
+
+class TestMalformedDescriptors:
+    def _frame(self, descriptor: dict, segment: bytes) -> bytes:
+        header = json.dumps({"type": "demo", "a": descriptor},
+                            separators=(",", ":")).encode()
+        return (b"R2\x02\x00" + len(header).to_bytes(4, "big")
+                + (1).to_bytes(2, "big") + len(segment).to_bytes(4, "big")
+                + header + segment)
+
+    def test_segment_index_out_of_range(self):
+        frame = self._frame({"$seg": 5, "dtype": "|u1", "shape": [4]},
+                            b"\x00" * 4)
+        with pytest.raises(ProtocolError, match="out of range"):
+            wire2.decode_message(frame)
+
+    def test_negative_segment_index(self):
+        frame = self._frame({"$seg": -1, "dtype": "|u1", "shape": [4]},
+                            b"\x00" * 4)
+        with pytest.raises(ProtocolError, match="out of range"):
+            wire2.decode_message(frame)
+
+    def test_shape_payload_mismatch(self):
+        frame = self._frame({"$seg": 0, "dtype": "|u1", "shape": [5]},
+                            b"\x00" * 4)
+        with pytest.raises(ProtocolError, match="payload has 4"):
+            wire2.decode_message(frame)
+
+    def test_negative_dimension_rejected(self):
+        # -1 would make reshape *infer* a shape the peer never declared
+        frame = self._frame({"$seg": 0, "dtype": "|u1", "shape": [-1]},
+                            b"\x00" * 4)
+        with pytest.raises(ProtocolError, match="negative dimension"):
+            wire2.decode_message(frame)
+
+    def test_unrecognized_dtype_rejected(self):
+        frame = self._frame({"$seg": 0, "dtype": "V4", "shape": [1]},
+                            b"\x00" * 4)
+        with pytest.raises(ProtocolError, match="dtype"):
+            wire2.decode_message(frame)
+
+    def test_object_dtype_rejected(self):
+        frame = self._frame({"$seg": 0, "dtype": "O", "shape": [1]},
+                            b"\x00" * 8)
+        with pytest.raises(ProtocolError, match="dtype"):
+            wire2.decode_message(frame)
+
+    def test_boolean_dimension_rejected(self):
+        frame = self._frame({"$seg": 0, "dtype": "|u1", "shape": [True, 4]},
+                            b"\x00" * 4)
+        with pytest.raises(ProtocolError, match="non-integer"):
+            wire2.decode_message(frame)
