@@ -35,6 +35,7 @@ Modules
     layer batches across sessions.
 """
 
+from repro.api.budget import BudgetPolicy, DEFAULT_POLICY, OperatingConditions
 from repro.api.cache import CacheStats, SolutionCache, histogram_signature
 from repro.api.engine import Engine
 from repro.api.session import (
@@ -47,7 +48,9 @@ from repro.api.registry import (
     BaselineAlgorithm,
     CompensationAlgorithm,
     HEBSAlgorithm,
+    OLEDDarkenAlgorithm,
     algorithm_descriptions,
+    algorithm_display_classes,
     available_algorithms,
     create,
     register,
@@ -67,6 +70,10 @@ __all__ = [
     "CompensationAlgorithm",
     "HEBSAlgorithm",
     "BaselineAlgorithm",
+    "OLEDDarkenAlgorithm",
+    "BudgetPolicy",
+    "OperatingConditions",
+    "DEFAULT_POLICY",
     "CompensationResult",
     "CompensationSolution",
     "StreamFrameResult",
@@ -77,4 +84,5 @@ __all__ = [
     "create",
     "available_algorithms",
     "algorithm_descriptions",
+    "algorithm_display_classes",
 ]

@@ -1,0 +1,186 @@
+"""Dynamic distortion-budget policy: operating conditions → budget.
+
+The paper treats the distortion budget as a free parameter ("the maximum
+tolerable distortion").  In a deployed system the budget is not free — it is
+a *policy* over the operating conditions of the device: under bright ambient
+light the eye's contrast sensitivity drops and masking hides larger
+distortions; on a draining battery the user trades quality for runtime; on a
+charger there is nothing to trade.  This module grows that policy out of the
+:mod:`repro.baselines.policy` seam: where ``find_minimum_backlight`` turns a
+*budget* into an operating point, :class:`BudgetPolicy` turns *conditions*
+into the budget, so the two compose into a closed loop:
+
+    conditions --BudgetPolicy--> budget --Engine/Server--> operating point
+
+Budgets are quantized to a configurable step.  This is not cosmetic: the
+engine's solution cache keys on the exact budget
+(:meth:`repro.api.engine.Engine._cache_key` participates the float
+verbatim), so a continuous policy output would make every ambient-light
+sensor wiggle a cache miss.  Quantization pools nearby conditions onto one
+cached solution per histogram.
+
+Both records have exact wire forms (plain JSON scalars), so a client can
+evaluate the policy locally and ship only the resulting budget, or ship the
+conditions and let the server evaluate — either way the budget that reaches
+the cache is identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+__all__ = ["OperatingConditions", "BudgetPolicy", "DEFAULT_POLICY"]
+
+
+@dataclass(frozen=True)
+class OperatingConditions:
+    """Device state a budget policy consumes.
+
+    Attributes
+    ----------
+    ambient_lux:
+        Ambient illuminance at the display (lux): ~10 is a dark room,
+        ~250 an office, ~10000 outdoor shade, ~100000 direct sun.
+    battery_level:
+        Remaining battery as a fraction in ``[0, 1]``.
+    charging:
+        Whether the device is on external power.
+    """
+
+    ambient_lux: float = 250.0
+    battery_level: float = 1.0
+    charging: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ambient_lux < 0:
+            raise ValueError("ambient_lux must be non-negative")
+        if not 0.0 <= self.battery_level <= 1.0:
+            raise ValueError("battery_level must be in [0, 1]")
+
+    def to_wire(self) -> Mapping[str, Any]:
+        """Exact JSON-ready form."""
+        return {"ambient_lux": float(self.ambient_lux),
+                "battery_level": float(self.battery_level),
+                "charging": bool(self.charging)}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "OperatingConditions":
+        """Reconstruct from :meth:`to_wire` output."""
+        return cls(ambient_lux=float(payload.get("ambient_lux", 250.0)),
+                   battery_level=float(payload.get("battery_level", 1.0)),
+                   charging=bool(payload.get("charging", False)))
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Map operating conditions to a per-request/per-session budget.
+
+    The budget is assembled additively and then quantized and clamped:
+
+        budget = base + ambient_gain * max(0, log10(lux / reference))
+                      + battery_gain * max(0, (threshold - level)/threshold)
+
+    * The **ambient** term follows the decade structure of brightness
+      perception (Weber–Fechner): each decade of illuminance above the dim
+      reference buys ``ambient_gain`` percentage points of budget, because
+      ambient masking hides that much more distortion.
+    * The **battery** term ramps linearly from 0 at the threshold to
+      ``battery_gain`` points at an empty battery, and is dropped entirely
+      while charging.
+
+    Parameters
+    ----------
+    base_budget:
+        Budget (percent distortion) under reference conditions.
+    min_budget, max_budget:
+        Clamp range of the final budget.
+    ambient_reference_lux:
+        Illuminance at/below which the ambient term contributes nothing.
+    ambient_gain:
+        Budget points added per decade of ambient above the reference.
+    low_battery_threshold:
+        Battery fraction below which the battery term starts ramping.
+    low_battery_gain:
+        Budget points added at a fully drained battery.
+    quantize_step:
+        Grid the final budget snaps to.  Coarser steps pool more operating
+        conditions onto shared cache entries (see the module docstring);
+        ``0`` disables quantization.
+    """
+
+    base_budget: float = 5.0
+    min_budget: float = 1.0
+    max_budget: float = 25.0
+    ambient_reference_lux: float = 50.0
+    ambient_gain: float = 3.0
+    low_battery_threshold: float = 0.30
+    low_battery_gain: float = 15.0
+    quantize_step: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_budget <= self.base_budget <= self.max_budget:
+            raise ValueError(
+                "need 0 < min_budget <= base_budget <= max_budget")
+        if self.ambient_reference_lux <= 0:
+            raise ValueError("ambient_reference_lux must be positive")
+        if self.ambient_gain < 0 or self.low_battery_gain < 0:
+            raise ValueError("gains must be non-negative")
+        if not 0.0 < self.low_battery_threshold <= 1.0:
+            raise ValueError("low_battery_threshold must be in (0, 1]")
+        if self.quantize_step < 0:
+            raise ValueError("quantize_step must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    def ambient_term(self, ambient_lux: float) -> float:
+        """Budget points contributed by ambient masking."""
+        if ambient_lux <= self.ambient_reference_lux:
+            return 0.0
+        return self.ambient_gain * math.log10(
+            ambient_lux / self.ambient_reference_lux)
+
+    def battery_term(self, battery_level: float, charging: bool) -> float:
+        """Budget points contributed by battery pressure."""
+        if charging or battery_level >= self.low_battery_threshold:
+            return 0.0
+        deficit = ((self.low_battery_threshold - battery_level)
+                   / self.low_battery_threshold)
+        return self.low_battery_gain * deficit
+
+    def budget_for(self, conditions: OperatingConditions) -> float:
+        """The quantized, clamped budget for one set of conditions."""
+        raw = (self.base_budget
+               + self.ambient_term(conditions.ambient_lux)
+               + self.battery_term(conditions.battery_level,
+                                   conditions.charging))
+        if self.quantize_step > 0:
+            raw = round(raw / self.quantize_step) * self.quantize_step
+        return float(min(max(raw, self.min_budget), self.max_budget))
+
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> Mapping[str, Any]:
+        """Exact JSON-ready form (plain floats round-trip bit-exactly)."""
+        return {"base_budget": float(self.base_budget),
+                "min_budget": float(self.min_budget),
+                "max_budget": float(self.max_budget),
+                "ambient_reference_lux": float(self.ambient_reference_lux),
+                "ambient_gain": float(self.ambient_gain),
+                "low_battery_threshold": float(self.low_battery_threshold),
+                "low_battery_gain": float(self.low_battery_gain),
+                "quantize_step": float(self.quantize_step)}
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "BudgetPolicy":
+        """Reconstruct from :meth:`to_wire` output."""
+        defaults = cls()
+        return cls(**{name: type(getattr(defaults, name))(
+            payload.get(name, getattr(defaults, name)))
+            for name in ("base_budget", "min_budget", "max_budget",
+                         "ambient_reference_lux", "ambient_gain",
+                         "low_battery_threshold", "low_battery_gain",
+                         "quantize_step")})
+
+
+#: The stock policy: 5% at the desk, up to 25% in the sun on a dying battery.
+DEFAULT_POLICY = BudgetPolicy()

@@ -19,13 +19,17 @@ The module registry maps public names to factories.  The built-in entries
 cover the whole package: HEBS with the characteristic-curve range selection
 (``hebs``), HEBS with per-image bisection (``hebs-adaptive``), HEBS with the
 alternative equalization methods (``hebs-clipped``, ``hebs-bbhe``), the two
-DLS variants of ref. [4] and CBCS of ref. [5].  Third-party techniques can
-join via :func:`register`.
+DLS variants of ref. [4], CBCS of ref. [5], and the emissive-panel
+inversions (``oled-darken``, ``oled-darken-clipped``) that darken content
+instead of dimming a backlight.  Every entry carries a *display class*
+(``"backlit"`` or ``"emissive"``) so tooling can tell which panel a
+technique drives.  Third-party techniques can join via :func:`register`.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Callable, Mapping
 
 import numpy as np
@@ -34,6 +38,7 @@ from repro.api.types import CompensationResult, CompensationSolution
 from repro.baselines.cbcs import CBCS
 from repro.baselines.dls import DLSBrightness, DLSContrast
 from repro.baselines.policy import BaselineResult, build_result
+from repro.core.darken import ContentDarkener, DarkenResult, DarkenSolution
 from repro.core.pipeline import HEBS, HEBSConfig, HEBSResult, HEBSSolution
 from repro.imaging.image import Image
 
@@ -41,10 +46,12 @@ __all__ = [
     "CompensationAlgorithm",
     "HEBSAlgorithm",
     "BaselineAlgorithm",
+    "OLEDDarkenAlgorithm",
     "register",
     "create",
     "available_algorithms",
     "algorithm_descriptions",
+    "algorithm_display_classes",
 ]
 
 
@@ -60,6 +67,10 @@ class CompensationAlgorithm:
     name: str = "abstract"
     #: One-line summary shown by ``repro algorithms``.
     description: str = ""
+    #: Display class the technique drives: ``"backlit"`` (power lives in a
+    #: lamp, content is brightened to compensate dimming) or ``"emissive"``
+    #: (power lives in the pixels, content is darkened).
+    display_class: str = "backlit"
 
     def solve(self, image: Image,
               max_distortion: float) -> CompensationSolution:
@@ -295,23 +306,152 @@ class BaselineAlgorithm(CompensationAlgorithm):
         return _wrap_baseline(native, self.name, transform)
 
 
+class OLEDDarkenAlgorithm(CompensationAlgorithm):
+    """Adapter exposing emissive-panel content darkening through the contract.
+
+    The inverted optimization: no backlight to dim (``backlight_factor``
+    stays 1.0), so the solution is a histogram-derived darkening LUT and the
+    power figures come from the :class:`~repro.display.oled.OLEDModel`
+    instead of the CCFL+panel pair.  Results carry the display-agnostic
+    :class:`~repro.display.power.PowerBreakdown` with ``ccfl = 0`` — an
+    emissive panel has no lamp — so they flow through the cache, the wire
+    protocol and result equality unchanged; the native emissive/overhead
+    split rides in ``details``.
+
+    Parameters
+    ----------
+    darkener:
+        A configured :class:`~repro.core.darken.ContentDarkener`; built
+        from the keyword options when not given.
+    equalization:
+        Engine for the darkening family (``"ghe"`` or ``"clipped"``); only
+        consulted when ``darkener`` is not given.
+    measure, oled, min_range, safety_margin:
+        Forwarded to the :class:`~repro.core.darken.ContentDarkener`
+        constructor; only consulted when ``darkener`` is not given.
+    name:
+        Registry name to report in results (defaults per configuration).
+    """
+
+    display_class = "emissive"
+
+    def __init__(self, darkener: ContentDarkener | None = None, *,
+                 equalization: str = "ghe", measure: str = "effective",
+                 oled=None, min_range: int = 16,
+                 safety_margin: float | None = None,
+                 name: str | None = None) -> None:
+        if darkener is None:
+            darkener = ContentDarkener(
+                oled=oled, measure=measure, equalization=equalization,
+                min_range=min_range, safety_margin=safety_margin)
+        self.darkener = darkener
+        if name is None:
+            name = "oled-darken"
+            if darkener.equalization != "ghe":
+                name = f"oled-darken-{darkener.equalization}"
+        self.name = name
+        self.description = (
+            "OLED content darkening via histogram equalization onto [0, R]")
+        if darkener.equalization != "ghe":
+            self.description = (
+                f"OLED content darkening with {darkener.equalization} "
+                f"equalization in the family")
+
+    def _wrap(self, result: DarkenResult,
+              max_distortion: float | None) -> CompensationResult:
+        budget = result.max_distortion
+        if max_distortion is not None:
+            budget = max_distortion
+        return CompensationResult(
+            algorithm=self.name,
+            original=result.original,
+            output=result.output,
+            backlight_factor=1.0,
+            transform=result.transform,
+            distortion=result.distortion,
+            power=result.power.as_power_breakdown(),
+            reference_power=result.reference_power.as_power_breakdown(),
+            max_distortion=None if math.isnan(budget) else budget,
+            driver_program=None,
+            details=result,
+        )
+
+    def solve(self, image: Image,
+              max_distortion: float) -> CompensationSolution:
+        native = self.darkener.solve(image, max_distortion)
+        return CompensationSolution(
+            algorithm=self.name,
+            transform=native.transform,
+            backlight_factor=1.0,
+            driver_program=None,
+            details=native,
+        )
+
+    def apply_solution(self, solution: CompensationSolution, image: Image,
+                       max_distortion: float | None = None,
+                       ) -> CompensationResult:
+        native = solution.details
+        if not isinstance(native, DarkenSolution):
+            raise TypeError(
+                "solution was not produced by an OLED darkening algorithm")
+        return self._wrap(self.darkener.apply_solution(native, image),
+                          max_distortion)
+
+    def at_backlight(self, image: Image, backlight_factor: float,
+                     max_distortion: float | None = None,
+                     ) -> CompensationResult:
+        """Run at an externally imposed *target range* fraction.
+
+        The emissive analogue of a fixed backlight factor: the dimming knob
+        is the darkening range, so ``backlight_factor`` selects
+        ``R = round(beta * (levels - 1))``.  This keeps the temporal filter
+        of stream sessions meaningful for emissive panels: smoothing the
+        factor smooths the aggressiveness of the darkening.
+        """
+        if not 0.0 < backlight_factor <= 1.0:
+            raise ValueError(
+                f"backlight_factor must be in (0, 1], got {backlight_factor}")
+        grayscale = image.to_grayscale()
+        levels = grayscale.levels
+        target_range = int(np.clip(round(backlight_factor * (levels - 1)),
+                                   1, levels - 1))
+        budget = (float("nan") if max_distortion is None
+                  else float(max_distortion))
+        native = self.darkener.solve_range(grayscale, target_range,
+                                           max_distortion=budget)
+        result = self._wrap(self.darkener.apply_solution(native, grayscale),
+                            max_distortion)
+        # report the imposed knob position (the range fraction), honouring
+        # the at_backlight contract; power is still billed on the darkened
+        # pixels at full drive — there is no lamp to scale
+        return replace(result, backlight_factor=float(backlight_factor))
+
+
 # --------------------------------------------------------------------- #
 # registry
 # --------------------------------------------------------------------- #
-_REGISTRY: dict[str, tuple[Callable[..., CompensationAlgorithm], str]] = {}
+_REGISTRY: dict[
+    str, tuple[Callable[..., CompensationAlgorithm], str, str]] = {}
 
 
 def register(name: str, factory: Callable[..., CompensationAlgorithm],
-             description: str = "", overwrite: bool = False) -> None:
+             description: str = "", overwrite: bool = False,
+             display_class: str = "backlit") -> None:
     """Register an algorithm factory under a public name.
 
     ``factory(**options)`` must return a :class:`CompensationAlgorithm`.
+    ``display_class`` records which panel the technique drives
+    (``"backlit"`` or ``"emissive"``) for tooling like ``repro algorithms``.
     Registering an existing name raises unless ``overwrite`` is set.
     """
     key = name.lower()
     if key in _REGISTRY and not overwrite:
         raise ValueError(f"algorithm {name!r} is already registered")
-    _REGISTRY[key] = (factory, description)
+    if display_class not in ("backlit", "emissive"):
+        raise ValueError(
+            f"display_class must be 'backlit' or 'emissive', "
+            f"got {display_class!r}")
+    _REGISTRY[key] = (factory, description, display_class)
 
 
 def create(name: str, **options) -> CompensationAlgorithm:
@@ -321,7 +461,7 @@ def create(name: str, **options) -> CompensationAlgorithm:
     ``pipeline=`` for the HEBS entries).
     """
     try:
-        factory, _ = _REGISTRY[name.lower()]
+        factory, _, _ = _REGISTRY[name.lower()]
     except KeyError:
         raise KeyError(
             f"unknown algorithm {name!r}; available: {available_algorithms()}"
@@ -337,6 +477,12 @@ def available_algorithms() -> list[str]:
 def algorithm_descriptions() -> Mapping[str, str]:
     """Mapping of registered name to its one-line description."""
     return {name: _REGISTRY[name][1] for name in available_algorithms()}
+
+
+def algorithm_display_classes() -> Mapping[str, str]:
+    """Mapping of registered name to its display class
+    (``"backlit"`` or ``"emissive"``)."""
+    return {name: _REGISTRY[name][2] for name in available_algorithms()}
 
 
 register(
@@ -376,3 +522,15 @@ register(
         CBCS(**options),
         description="CBCS single-band grayscale spreading (ref. [5])"),
     "CBCS single-band grayscale spreading (ref. [5])")
+register(
+    "oled-darken",
+    lambda **options: OLEDDarkenAlgorithm(name="oled-darken", **options),
+    "OLED content darkening via histogram equalization onto [0, R]",
+    display_class="emissive")
+register(
+    "oled-darken-clipped",
+    lambda **options: OLEDDarkenAlgorithm(equalization="clipped",
+                                          name="oled-darken-clipped",
+                                          **options),
+    "OLED content darkening with clipped (contrast-limited) equalization",
+    display_class="emissive")

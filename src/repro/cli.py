@@ -59,10 +59,15 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.reporting import Table
-from repro.api.registry import algorithm_descriptions, available_algorithms
+from repro.api.registry import (
+    algorithm_descriptions,
+    algorithm_display_classes,
+    available_algorithms,
+)
 from repro.bench import experiments as paper_experiments
 from repro.bench.suite import benchmark_images, default_engine
 from repro.bench.throughput import throughput_benchmark
+from repro.core.darken import DarkenResult
 from repro.core.distortion_curve import build_distortion_curve
 from repro.core.pipeline import HEBSResult
 from repro.imaging.io import read_image, write_image
@@ -121,11 +126,59 @@ def _resolve_algorithm(args: argparse.Namespace) -> str:
     return algorithm
 
 
+def _parse_algorithms(value, *, allow_multiple: bool = False) -> list[str]:
+    """Validate an ``--algorithm`` value against the registry.
+
+    The serving commands share one flag; ``loadtest`` additionally accepts
+    a comma-separated list (the mixed display-class workload), which the
+    single-algorithm commands reject with a clean error.
+    """
+    names = [name.strip() for name in str(value).split(",") if name.strip()]
+    if not names:
+        raise SystemExit("error: --algorithm must name an algorithm")
+    available = available_algorithms()
+    for name in names:
+        if name not in available:
+            raise SystemExit(
+                f"error: unknown algorithm {name!r}; available: "
+                f"{', '.join(available)}")
+    if len(names) > 1 and not allow_multiple:
+        raise SystemExit(
+            "error: this command takes a single algorithm "
+            "(a comma-separated mix is a loadtest feature)")
+    return names
+
+
+def _policy_budget(args: argparse.Namespace) -> float | None:
+    """The budget derived from operating-condition flags, or ``None`` when
+    no sensor flag was given (the explicit ``--budget`` stands)."""
+    if (args.ambient_lux is None and args.battery is None
+            and not args.charging):
+        return None
+    # deferred import: the policy layer is only needed when flags are used
+    from repro.api.budget import BudgetPolicy, OperatingConditions
+
+    conditions = OperatingConditions(
+        ambient_lux=250.0 if args.ambient_lux is None else args.ambient_lux,
+        battery_level=1.0 if args.battery is None else args.battery,
+        charging=bool(args.charging))
+    budget = BudgetPolicy().budget_for(conditions)
+    _print(f"budget policy: {conditions.ambient_lux:g} lux, "
+           f"battery {100.0 * conditions.battery_level:g}%"
+           f"{' (charging)' if conditions.charging else ''} "
+           f"-> {budget:g}% distortion budget")
+    return budget
+
+
 def _cmd_process(args: argparse.Namespace) -> int:
     image = _load_image(args.image).to_grayscale()
     algorithm = _resolve_algorithm(args)
     engine = default_engine(algorithm=algorithm)
-    result = engine.process(image, args.budget)
+    budget = args.budget
+    policy_budget = _policy_budget(args)
+    if policy_budget is not None:
+        budget = policy_budget
+    result = engine.process(image, budget)
 
     rows = [
         {"quantity": "algorithm", "value": result.algorithm},
@@ -142,8 +195,17 @@ def _cmd_process(args: argparse.Namespace) -> int:
             {"quantity": "PLC mse",
              "value": result.details.coarse_curve.mean_squared_error},
         ])
+    elif isinstance(result.details, DarkenResult):
+        rows[1:1] = [{"quantity": "darkening range",
+                      "value": result.details.target_range}]
+        rows.extend([
+            {"quantity": "emissive power",
+             "value": result.details.power.emissive},
+            {"quantity": "driver overhead",
+             "value": result.details.power.overhead},
+        ])
     table = Table(
-        title=f"{result.algorithm} on {args.image} (budget {args.budget:g}%)",
+        title=f"{result.algorithm} on {args.image} (budget {budget:g}%)",
         columns=("quantity", "value"),
         precision=3,
     ).with_rows(rows)
@@ -200,11 +262,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _cmd_algorithms(args: argparse.Namespace) -> int:
     del args
+    display_classes = algorithm_display_classes()
     table = Table(
         title="Registered compensation algorithms (repro.api.registry)",
-        columns=("name", "description"),
+        columns=("name", "display", "description"),
     ).with_rows(
-        {"name": name, "description": description}
+        {"name": name, "display": display_classes[name],
+         "description": description}
         for name, description in algorithm_descriptions().items()
     )
     _print(table.render())
@@ -281,11 +345,11 @@ def _serving_workload(count: int) -> list:
     return [suite[index % len(suite)] for index in range(count)]
 
 
-def _build_server(args: argparse.Namespace):
+def _build_server(args: argparse.Namespace, algorithm: str | None = None):
     # deferred import: keep `repro --help` fast and serve-free paths lean
     from repro.serve import Server
 
-    engine = default_engine(algorithm=args.algorithm)
+    engine = default_engine(algorithm=algorithm or args.algorithm)
     return Server(engine=engine, workers=args.workers,
                   max_batch=args.max_batch, max_delay=args.max_delay / 1e3,
                   max_pending=args.max_pending,
@@ -306,17 +370,18 @@ def _print_server_stats(stats) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    algorithm = _parse_algorithms(args.algorithm)[0]
     if args.port is not None:
         return _cmd_serve_network(args)
-    server = _build_server(args)
+    server = _build_server(args, algorithm)
     with server:
         if args.warmup:
             primed = server.warmup(budgets=(args.budget,),
-                                   algorithm=args.algorithm)
+                                   algorithm=algorithm)
             _print(f"warm-up: {primed} solutions pre-solved into the cache")
         workload = _serving_workload(args.requests)
         results = server.process_many(workload, args.budget,
-                                      algorithm=args.algorithm)
+                                      algorithm=algorithm)
         reused = sum(result.from_cache or result.replayed
                      for result in results)
         _print(f"served {len(results)} requests "
@@ -331,10 +396,11 @@ def _cmd_serve_network(args: argparse.Namespace) -> int:
     # deferred import: keep `repro --help` fast and serve-free paths lean
     from repro.serve.net import NetworkServer
 
-    server = _build_server(args)
+    algorithm = _parse_algorithms(args.algorithm)[0]
+    server = _build_server(args, algorithm)
     if args.warmup:
         primed = server.warmup(budgets=(args.budget,),
-                               algorithm=args.algorithm)
+                               algorithm=algorithm)
         _print(f"warm-up: {primed} solutions pre-solved into the cache")
     net = NetworkServer(server, host=args.host, port=args.port)
 
@@ -416,6 +482,10 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         time_serial_stream_baseline,
     )
 
+    names = _parse_algorithms(args.algorithm, allow_multiple=True)
+    # a single algorithm stays a scalar (shared by every request); a list
+    # is cycled by workload index — the mixed display-class scenario
+    algorithm = names[0] if len(names) == 1 else names
     stream_mode = args.streams > 0
     serial_seconds = None
     if stream_mode:
@@ -423,21 +493,21 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     else:
         workload = _serving_workload(args.requests)
     if args.baseline:
-        baseline_engine = default_engine(algorithm=args.algorithm,
+        baseline_engine = default_engine(algorithm=names[0],
                                          cache_size=0)
         time_baseline = (time_serial_stream_baseline if stream_mode
                          else time_serial_baseline)
         serial_seconds, _ = time_baseline(baseline_engine, workload,
                                           args.budget,
-                                          algorithm=args.algorithm)
+                                          algorithm=algorithm)
     def hammer(server_like):
         if stream_mode:
             report = run_stream_load(server_like, workload, args.budget,
-                                     algorithm=args.algorithm)
+                                     algorithm=algorithm)
             return report, stream_report_table(report,
                                                serial_seconds=serial_seconds)
         report = run_load(server_like, workload, args.budget,
-                          clients=args.clients, algorithm=args.algorithm)
+                          clients=args.clients, algorithm=algorithm)
         return report, report_table(report, serial_seconds=serial_seconds)
 
     if args.connect:
@@ -450,11 +520,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         with RemoteServerAdapter(args.connect) as remote:
             report, table = hammer(remote)
     else:
-        server = _build_server(args)
+        server = _build_server(args, names[0])
         with server:
             if args.warmup:
-                server.warmup(budgets=(args.budget,),
-                              algorithm=args.algorithm)
+                for name in names:
+                    server.warmup(budgets=(args.budget,), algorithm=name)
             report, table = hammer(server)
     _print(table.render())
     if args.json:
@@ -513,6 +583,16 @@ def build_parser() -> argparse.ArgumentParser:
     process.add_argument("--adaptive", action="store_true",
                          help="shorthand for --algorithm hebs-adaptive "
                               "(per-image range bisection)")
+    process.add_argument("--ambient-lux", type=float, default=None,
+                         help="ambient illuminance (lux): derive the budget "
+                              "from the dynamic-budget policy instead of "
+                              "--budget")
+    process.add_argument("--battery", type=float, default=None,
+                         help="remaining battery fraction in [0, 1] for the "
+                              "dynamic-budget policy")
+    process.add_argument("--charging", action="store_true",
+                         help="device is on external power (disables the "
+                              "policy's battery term)")
     process.add_argument("--output", help="write the transformed image here")
     process.set_defaults(func=_cmd_process)
 
@@ -555,9 +635,11 @@ def build_parser() -> argparse.ArgumentParser:
     serving_options.add_argument("--budget", type=float, default=10.0,
                                  help="maximum tolerable distortion in percent")
     serving_options.add_argument("--algorithm", default="hebs",
-                                 choices=available_algorithms(),
                                  help="registered algorithm to serve "
-                                      "(default: hebs)")
+                                      "(default: hebs); loadtest also "
+                                      "accepts a comma-separated list for "
+                                      "a mixed display-class workload, "
+                                      "e.g. hebs,oled-darken")
     serving_options.add_argument("--workers", type=int, default=4,
                                  help="worker threads executing micro-batches")
     serving_options.add_argument("--max-batch", type=int, default=32,

@@ -20,6 +20,10 @@ used by every experiment.
   and luminances for a whole frame.
 * :mod:`~repro.display.power` — total display power and power-saving
   accounting used by Table 1 and Fig. 8.
+* :mod:`~repro.display.oled` — the emissive (OLED/AMOLED) display class:
+  per-primary pixel-power model with sRGB luminance weighting and static
+  overhead, mirroring the CCFL/panel surfaces so the controller and the
+  unified API drive either panel class.
 """
 
 from repro.display.ccfl import CCFLModel, LP064V1_CCFL, simulate_ccfl_measurements
@@ -37,6 +41,18 @@ from repro.display.driver import (
 )
 from repro.display.controller import LCDController, FrameBuffer, DisplayedFrame
 from repro.display.power import DisplayPowerModel, PowerBreakdown, power_saving
+from repro.display.oled import (
+    EmissionModel,
+    OLEDDisplayPowerModel,
+    OLEDModel,
+    OLEDPanelAdapter,
+    OLEDPowerBreakdown,
+    OLEDSupplyModel,
+    QVGA_AMOLED,
+    linear_to_srgb,
+    oled_power_saving,
+    srgb_to_linear,
+)
 from repro.display.interface import (
     VideoBusModel,
     available_encodings,
@@ -64,6 +80,16 @@ __all__ = [
     "DisplayPowerModel",
     "PowerBreakdown",
     "power_saving",
+    "EmissionModel",
+    "OLEDModel",
+    "OLEDPowerBreakdown",
+    "OLEDDisplayPowerModel",
+    "OLEDSupplyModel",
+    "OLEDPanelAdapter",
+    "QVGA_AMOLED",
+    "srgb_to_linear",
+    "linear_to_srgb",
+    "oled_power_saving",
     "VideoBusModel",
     "available_encodings",
     "binary_encode",

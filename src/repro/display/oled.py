@@ -1,0 +1,368 @@
+"""Emissive (OLED/AMOLED) display power model — the per-pixel-power workload.
+
+A transmissive LCD spends its power in the backlight, so the paper's
+optimization dims the lamp and *brightens* content to compensate.  An
+emissive panel inverts the economics: there is no backlight, every pixel is
+its own light source, and panel power is a function of the pixel values
+themselves.  The standard model (Dong & Zhong's OLED power studies, and the
+measurements behind every OLED display-power paper since) is linear in the
+emitted luminance per color primary:
+
+    P_frame = beta / N * sum_pixels [ k_r L(r) + k_g L(g) + k_b L(b) ] + P_0
+
+where ``L`` is the sRGB electro-optical transfer function (the panel emits
+*luminance*, and luminance is not linear in the stored pixel code), ``k_c``
+is the per-primary efficiency coefficient (blue emitters are the least
+efficient, so ``k_b`` dominates), ``beta`` is an optional global dimming
+factor, and ``P_0`` is the static overhead of the driver electronics that
+burns regardless of content.
+
+This module mirrors the surfaces of :mod:`repro.display.ccfl` and
+:mod:`repro.display.power` so the rest of the package — the controller, the
+power accounting in :class:`~repro.api.types.CompensationResult`, the
+serving stack — accepts either display class:
+
+* :class:`OLEDModel` — the per-pixel physics (the :class:`CCFLModel`
+  analogue: ``clamp_factor`` / ``power``-style evaluation, a ``full_power``
+  reference).
+* :class:`OLEDDisplayPowerModel` — frame-level accounting with the exact
+  :class:`~repro.display.power.DisplayPowerModel` method surface
+  (``breakdown`` / ``total`` / ``reference`` / ``saving`` /
+  ``saving_percent``).  It reports the standard
+  :class:`~repro.display.power.PowerBreakdown` with ``ccfl=0.0`` — an
+  emissive panel has no lamp — so results flow through the wire protocol
+  and result equality unchanged.
+* :class:`OLEDSupplyModel` / :class:`OLEDPanelAdapter` — drop-ins for the
+  two slots of :class:`~repro.display.controller.LCDController`, so the
+  frame-buffer simulation drives an emissive panel with no controller
+  changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.display.panel import TransmissivityModel
+from repro.display.power import PowerBreakdown
+from repro.imaging.image import Image
+
+__all__ = [
+    "srgb_to_linear",
+    "linear_to_srgb",
+    "EmissionModel",
+    "OLEDPowerBreakdown",
+    "OLEDModel",
+    "OLEDDisplayPowerModel",
+    "OLEDSupplyModel",
+    "OLEDPanelAdapter",
+    "QVGA_AMOLED",
+    "oled_power_saving",
+]
+
+
+def srgb_to_linear(x: float | np.ndarray) -> float | np.ndarray:
+    """The sRGB electro-optical transfer function (IEC 61966-2-1).
+
+    Maps a normalized pixel code in ``[0, 1]`` to relative emitted
+    luminance: linear below the 0.04045 toe, a 2.4 power law above it.
+    Emissive power is proportional to emitted luminance, so this is the
+    curve that turns stored pixel values into watts.
+    """
+    x_array = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+    result = np.where(x_array <= 0.04045,
+                      x_array / 12.92,
+                      ((x_array + 0.055) / 1.055) ** 2.4)
+    return float(result) if np.isscalar(x) else result
+
+
+def linear_to_srgb(y: float | np.ndarray) -> float | np.ndarray:
+    """Inverse of :func:`srgb_to_linear`: luminance back to pixel code."""
+    y_array = np.clip(np.asarray(y, dtype=np.float64), 0.0, 1.0)
+    result = np.where(y_array <= 0.04045 / 12.92,
+                      y_array * 12.92,
+                      1.055 * y_array ** (1.0 / 2.4) - 0.055)
+    return float(result) if np.isscalar(y) else result
+
+
+@dataclass(frozen=True)
+class EmissionModel(TransmissivityModel):
+    """Pixel-code → relative-luminance map of an emissive panel.
+
+    The :class:`~repro.display.panel.TransmissivityModel` surface
+    (``transmittance`` / ``pixel_value`` / ``luminance``) with the sRGB
+    transfer in place of the LCD's linear cell map, so everything written
+    against the transmissivity contract — the controller, perceived-image
+    accounting — drives an OLED unchanged.  ``t_off`` models the residual
+    leakage of a nominally black pixel (0 for an ideal emitter: true blacks
+    are the point of OLED).
+    """
+
+    def transmittance(self, x: float | np.ndarray) -> float | np.ndarray:
+        x_array = np.clip(np.asarray(x, dtype=np.float64), 0.0, 1.0)
+        linear = np.asarray(srgb_to_linear(x_array))
+        result = self.t_off + (self.t_on - self.t_off) * linear
+        return float(result) if np.isscalar(x) else result
+
+    def pixel_value(self, transmittance: float | np.ndarray
+                    ) -> float | np.ndarray:
+        t_array = np.clip(np.asarray(transmittance, dtype=np.float64),
+                          self.t_off, self.t_on)
+        linear = (t_array - self.t_off) / (self.t_on - self.t_off)
+        result = np.asarray(linear_to_srgb(linear))
+        return float(result) if np.isscalar(transmittance) else result
+
+
+@dataclass(frozen=True)
+class OLEDPowerBreakdown:
+    """Per-component power of one frame on an emissive panel.
+
+    The OLED-native analogue of
+    :class:`~repro.display.power.PowerBreakdown`: the content-dependent
+    emissive term and the content-independent driver overhead.  Use
+    :meth:`as_power_breakdown` to cross into the display-agnostic result
+    records (``ccfl=0`` — there is no lamp; the whole panel figure is
+    emissive + overhead).
+    """
+
+    emissive: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        """Emissive plus overhead power."""
+        return self.emissive + self.overhead
+
+    def saving_versus(self, reference: "OLEDPowerBreakdown") -> float:
+        """Fractional saving of this breakdown relative to ``reference``."""
+        if reference.total <= 0:
+            return 0.0
+        return 1.0 - self.total / reference.total
+
+    def as_power_breakdown(self) -> PowerBreakdown:
+        """The display-agnostic record the unified API carries.
+
+        A plain :class:`~repro.display.power.PowerBreakdown` (not a
+        subclass): dataclass equality is class-exact, and results must
+        compare equal across the wire, where the receiving side
+        reconstructs the generic record.
+        """
+        return PowerBreakdown(ccfl=0.0, panel=self.total)
+
+
+@dataclass(frozen=True)
+class OLEDModel:
+    """Per-pixel emissive power model of an OLED/AMOLED panel.
+
+    Parameters
+    ----------
+    red_gain, green_gain, blue_gain:
+        Per-primary efficiency coefficients ``k_c`` (power per unit of
+        relative luminance).  The defaults are normalized so a full-white
+        frame costs 1.0 emissive power unit, with the usual ordering of
+        organic emitter efficiencies: blue is the hungriest primary, green
+        the cheapest.
+    static_power:
+        Content-independent driver/electronics overhead ``P_0`` per frame
+        (same normalized units).
+    emission:
+        Pixel-code → luminance transfer (the sRGB curve by default).
+    min_factor:
+        Smallest global dimming factor the driver sustains.  Unlike a CCFL
+        arc, an emissive panel dims continuously to black, so the default
+        floor is 0.
+    """
+
+    red_gain: float = 0.30
+    green_gain: float = 0.22
+    blue_gain: float = 0.48
+    static_power: float = 0.12
+    emission: EmissionModel = field(default_factory=EmissionModel)
+    min_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.red_gain, self.green_gain, self.blue_gain) <= 0:
+            raise ValueError("per-primary gains must be positive")
+        if self.static_power < 0:
+            raise ValueError("static_power must be non-negative")
+        if not 0.0 <= self.min_factor < 1.0:
+            raise ValueError("min_factor must be in [0, 1)")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def white_gain(self) -> float:
+        """Emissive power of a full-white pixel (all primaries driven)."""
+        return self.red_gain + self.green_gain + self.blue_gain
+
+    def clamp_factor(self, beta: float) -> float:
+        """Clamp a requested dimming factor to the realizable range."""
+        return float(np.clip(beta, self.min_factor, 1.0))
+
+    def pixel_power(self, x: float | np.ndarray,
+                    beta: float = 1.0) -> float | np.ndarray:
+        """Emissive power of grayscale pixel value(s) ``x`` in ``[0, 1]``.
+
+        A grayscale value drives all three primaries equally, so the cost
+        is the summed gains times the emitted luminance.  Scalars map to
+        scalars and arrays to arrays, like :meth:`CCFLModel.power
+        <repro.display.ccfl.CCFLModel.power>`.
+        """
+        beta = self.clamp_factor(beta)
+        result = (self.white_gain * beta
+                  * np.asarray(self.emission.transmittance(x)))
+        return float(result) if np.isscalar(x) else result
+
+    def rgb_pixel_power(self, red: float | np.ndarray,
+                        green: float | np.ndarray,
+                        blue: float | np.ndarray,
+                        beta: float = 1.0) -> float | np.ndarray:
+        """Emissive power of per-channel drive values (normalized codes)."""
+        beta = self.clamp_factor(beta)
+        result = beta * (
+            self.red_gain * np.asarray(self.emission.transmittance(red))
+            + self.green_gain * np.asarray(self.emission.transmittance(green))
+            + self.blue_gain * np.asarray(self.emission.transmittance(blue)))
+        if np.isscalar(red) and np.isscalar(green) and np.isscalar(blue):
+            return float(result)
+        return result
+
+    def frame_power(self, image: Image, beta: float = 1.0) -> float:
+        """Mean per-pixel emissive power of a whole frame (no overhead).
+
+        The :meth:`PanelModel.frame_power
+        <repro.display.panel.PanelModel.frame_power>` analogue.  The
+        package's working currency is grayscale, so the frame is converted
+        first; color content enters through :meth:`rgb_pixel_power`.
+        """
+        values = image.to_grayscale().as_float()
+        return float(np.mean(self.pixel_power(values, beta)))
+
+    def breakdown(self, image: Image,
+                  beta: float = 1.0) -> OLEDPowerBreakdown:
+        """Emissive/overhead split of displaying one frame."""
+        return OLEDPowerBreakdown(emissive=self.frame_power(image, beta),
+                                  overhead=self.static_power)
+
+    def full_power(self) -> float:
+        """Power of a full-white frame at full drive (the reference scale)."""
+        return (self.white_gain
+                * float(self.emission.transmittance(1.0))
+                + self.static_power)
+
+
+#: A stand-in 2.2-inch QVGA AMOLED module with normalized coefficients:
+#: full white costs 1.0 emissive unit, the driver overhead is 12% of that.
+QVGA_AMOLED = OLEDModel()
+
+
+@dataclass(frozen=True)
+class OLEDDisplayPowerModel:
+    """Frame-level power accounting for an emissive panel.
+
+    The exact :class:`~repro.display.power.DisplayPowerModel` method
+    surface — ``breakdown`` / ``total`` / ``reference`` / ``saving`` /
+    ``saving_percent`` — so algorithm adapters and experiments can hold
+    either display class behind one variable.  ``backlight_factor`` slots
+    in as the global dimming factor (1.0 for content-only optimization:
+    darkening happens in the pixels, not a lamp).
+    """
+
+    oled: OLEDModel = QVGA_AMOLED
+
+    def breakdown(self, image: Image,
+                  backlight_factor: float) -> PowerBreakdown:
+        """Power of displaying ``image`` dimmed globally to ``beta``."""
+        beta = self.oled.clamp_factor(backlight_factor)
+        return self.oled.breakdown(image, beta).as_power_breakdown()
+
+    def total(self, image: Image, backlight_factor: float) -> float:
+        """Total display power of a frame (normalized units)."""
+        return self.breakdown(image, backlight_factor).total
+
+    def reference(self, image: Image) -> PowerBreakdown:
+        """Power of displaying the original image at full drive."""
+        return self.breakdown(image, 1.0)
+
+    def saving(self, original: Image, transformed: Image,
+               backlight_factor: float) -> float:
+        """Fractional display-power saving of showing ``transformed``."""
+        return self.breakdown(transformed, backlight_factor).saving_versus(
+            self.reference(original))
+
+    def saving_percent(self, original: Image, transformed: Image,
+                       backlight_factor: float) -> float:
+        """Power saving expressed in percent (the Table-1 unit)."""
+        return 100.0 * self.saving(original, transformed, backlight_factor)
+
+
+@dataclass(frozen=True)
+class OLEDSupplyModel:
+    """Drop-in for the ``ccfl`` slot of
+    :class:`~repro.display.controller.LCDController`.
+
+    An emissive panel has no lamp; what the lamp slot models here is the
+    content-independent driver overhead, constant in the dimming factor.
+    """
+
+    overhead: float = QVGA_AMOLED.static_power
+    min_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.overhead < 0:
+            raise ValueError("overhead must be non-negative")
+        if not 0.0 <= self.min_factor < 1.0:
+            raise ValueError("min_factor must be in [0, 1)")
+
+    def clamp_factor(self, beta: float) -> float:
+        """Clamp a requested dimming factor to the realizable range."""
+        return float(np.clip(beta, self.min_factor, 1.0))
+
+    def power(self, beta: float | np.ndarray) -> float | np.ndarray:
+        """Driver overhead — burns regardless of drive level."""
+        if np.isscalar(beta):
+            return float(self.overhead)
+        return np.full_like(np.asarray(beta, dtype=np.float64),
+                            self.overhead)
+
+    def full_power(self) -> float:
+        """Overhead at full drive (it is constant)."""
+        return float(self.overhead)
+
+    def power_saving(self, beta: float) -> float:
+        """Dimming the panel saves nothing in the *overhead* term."""
+        return 0.0
+
+
+@dataclass(frozen=True)
+class OLEDPanelAdapter:
+    """Drop-in for the ``panel`` slot of
+    :class:`~repro.display.controller.LCDController`.
+
+    ``frame_power`` is the emissive term and ``transmissivity`` the sRGB
+    emission curve, so the controller's per-frame luminance and power
+    accounting work on an emissive panel without modification.
+    """
+
+    oled: OLEDModel = QVGA_AMOLED
+
+    @property
+    def transmissivity(self) -> EmissionModel:
+        """The pixel-code → luminance transfer of the panel."""
+        return self.oled.emission
+
+    def pixel_power(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Per-pixel emissive power at full drive."""
+        return self.oled.pixel_power(x)
+
+    def frame_power(self, image: Image) -> float:
+        """Mean per-pixel emissive power of a frame at full drive."""
+        return self.oled.frame_power(image)
+
+
+def oled_power_saving(original: Image, transformed: Image,
+                      backlight_factor: float = 1.0,
+                      model: OLEDDisplayPowerModel | None = None) -> float:
+    """Percent emissive-display power saving (the Table-1 convention)."""
+    return (model or OLEDDisplayPowerModel()).saving_percent(
+        original, transformed, backlight_factor)

@@ -55,6 +55,22 @@ __all__ = [
 ]
 
 
+def _algorithm_for(algorithm, index: int):
+    """Resolve the per-request algorithm of a (possibly mixed) workload.
+
+    A list/tuple of algorithms is cycled by workload index — the mixed
+    display-class scenario where CCFL and OLED requests interleave on one
+    server; anything else (a name, an instance, ``None``) is shared by
+    every request.  Strings are *not* sequences here: ``"hebs"`` means one
+    algorithm, not five.
+    """
+    if isinstance(algorithm, (list, tuple)):
+        if not algorithm:
+            raise ValueError("an algorithm sequence must not be empty")
+        return algorithm[index % len(algorithm)]
+    return algorithm
+
+
 def time_serial_baseline(engine, images: Sequence[Image],
                          max_distortion: float, algorithm=None):
     """Time the pre-serving calling convention on ``engine``: one
@@ -62,12 +78,14 @@ def time_serial_baseline(engine, images: Sequence[Image],
 
     Pass a cache-disabled engine (``Engine(..., cache_size=0)``) for the
     truly independent baseline the serving speedup is quoted against.
-    Returns ``(seconds, results)`` so callers can also verify the served
-    outputs bitwise against the serial ones.
+    ``algorithm`` may be a sequence, cycled by request index like
+    :func:`run_load` does.  Returns ``(seconds, results)`` so callers can
+    also verify the served outputs bitwise against the serial ones.
     """
     start = time.perf_counter()
-    results = [engine.process(image, max_distortion, algorithm=algorithm)
-               for image in images]
+    results = [engine.process(image, max_distortion,
+                              algorithm=_algorithm_for(algorithm, index))
+               for index, image in enumerate(images)]
     return time.perf_counter() - start, results
 
 
@@ -134,6 +152,11 @@ def run_load(server: Server, images: Sequence[Image],
     each submits its share as fast as results come back.  Per-request
     latencies and results (indexed by workload position) are collected for
     verification against a serial reference.
+
+    ``algorithm`` may be a single name/instance shared by every request,
+    or a **sequence** cycled by workload index — the mixed display-class
+    scenario: ``algorithm=["hebs", "oled-darken"]`` interleaves backlit
+    and emissive requests through one server, cache and all.
     """
     if clients < 1:
         raise ValueError("clients must be at least 1")
@@ -151,7 +174,8 @@ def run_load(server: Server, images: Sequence[Image],
             started = time.perf_counter()
             try:
                 future = server.submit(images[index], max_distortion,
-                                       algorithm=algorithm)
+                                       algorithm=_algorithm_for(algorithm,
+                                                                index))
                 result = future.result(timeout=result_timeout)
             except Exception:   # noqa: BLE001 - tallied, session continues
                 with lock:
@@ -212,8 +236,9 @@ def time_serial_stream_baseline(engine, clips: Sequence[Sequence[Image]],
     start = time.perf_counter()
     for index, clip in enumerate(clips):
         options = _session_options_for(session_options, index)
-        with engine.open_session(max_distortion, algorithm=algorithm,
-                                 **options) as session:
+        with engine.open_session(
+                max_distortion, algorithm=_algorithm_for(algorithm, index),
+                **options) as session:
             outcomes.append([session.submit(frame) for frame in clip])
     return time.perf_counter() - start, outcomes
 
@@ -303,7 +328,9 @@ def run_stream_load(server: Server, clips: Sequence[Sequence[Image]],
     :meth:`~repro.serve.server.Server.open_session` call, or a callable
     ``index -> mapping`` when sessions need fresh per-session state (a
     shared mutable ``smoother=`` would leak temporal state across
-    sessions).
+    sessions).  ``algorithm`` may be a sequence cycled by *session* index —
+    the mixed display-class scenario: half the streams drive a backlit
+    panel, half an emissive one, through one server.
     """
     if not clips:
         raise ValueError("the workload must contain at least one clip")
@@ -319,7 +346,7 @@ def run_stream_load(server: Server, clips: Sequence[Sequence[Image]],
     def client(index: int, clip: Sequence[Image]) -> None:
         try:
             session = server.open_session(
-                max_distortion, algorithm=algorithm,
+                max_distortion, algorithm=_algorithm_for(algorithm, index),
                 **_session_options_for(session_options, index))
         except Exception:   # noqa: BLE001 - e.g. the session cap
             # the clip is lost, but the barrier must not strand the others

@@ -1,0 +1,110 @@
+"""Unit tests for the dynamic distortion-budget policy."""
+
+import pytest
+
+from repro.api.budget import BudgetPolicy, DEFAULT_POLICY, OperatingConditions
+
+
+class TestOperatingConditions:
+    def test_defaults(self):
+        conditions = OperatingConditions()
+        assert conditions.ambient_lux == 250.0
+        assert conditions.battery_level == 1.0
+        assert not conditions.charging
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingConditions(ambient_lux=-1.0)
+        with pytest.raises(ValueError):
+            OperatingConditions(battery_level=1.5)
+
+    def test_wire_round_trip(self):
+        conditions = OperatingConditions(ambient_lux=1234.5,
+                                         battery_level=0.25, charging=True)
+        assert OperatingConditions.from_wire(
+            conditions.to_wire()) == conditions
+
+    def test_from_wire_defaults_missing_fields(self):
+        assert OperatingConditions.from_wire({}) == OperatingConditions()
+
+
+class TestBudgetPolicy:
+    def test_reference_conditions_give_base_ballpark(self):
+        policy = BudgetPolicy()
+        at_reference = policy.budget_for(OperatingConditions(
+            ambient_lux=policy.ambient_reference_lux))
+        assert at_reference == pytest.approx(policy.base_budget)
+
+    def test_monotone_in_ambient_light(self):
+        policy = BudgetPolicy()
+        budgets = [policy.budget_for(OperatingConditions(ambient_lux=lux))
+                   for lux in (10.0, 250.0, 2500.0, 25000.0)]
+        assert budgets == sorted(budgets)
+        assert budgets[-1] > budgets[0]
+
+    def test_dark_room_never_below_reference(self):
+        """The ambient term only relaxes the budget, never tightens it."""
+        policy = BudgetPolicy()
+        assert policy.ambient_term(1.0) == 0.0
+        assert policy.ambient_term(0.0) == 0.0
+
+    def test_battery_ramp(self):
+        policy = BudgetPolicy()
+        full = policy.budget_for(OperatingConditions(battery_level=1.0))
+        low = policy.budget_for(OperatingConditions(battery_level=0.10))
+        critical = policy.budget_for(OperatingConditions(battery_level=0.02))
+        assert full < low <= critical
+
+    def test_battery_term_zero_above_threshold(self):
+        policy = BudgetPolicy()
+        assert policy.battery_term(policy.low_battery_threshold, False) == 0.0
+        assert policy.battery_term(0.9, False) == 0.0
+
+    def test_charging_kills_battery_term(self):
+        policy = BudgetPolicy()
+        assert policy.battery_term(0.05, charging=True) == 0.0
+        draining = policy.budget_for(OperatingConditions(battery_level=0.05))
+        plugged = policy.budget_for(OperatingConditions(battery_level=0.05,
+                                                        charging=True))
+        assert plugged < draining
+
+    def test_clamped_to_bounds(self):
+        policy = BudgetPolicy()
+        extreme = OperatingConditions(ambient_lux=1e6, battery_level=0.01)
+        assert policy.budget_for(extreme) == policy.max_budget
+        tiny = BudgetPolicy(base_budget=1.0, min_budget=1.0, max_budget=2.0)
+        assert tiny.budget_for(extreme) == 2.0
+
+    def test_quantization_pools_sensor_wiggle(self):
+        """Nearby lux readings must map to the same cacheable budget."""
+        policy = BudgetPolicy()
+        a = policy.budget_for(OperatingConditions(ambient_lux=250.0))
+        b = policy.budget_for(OperatingConditions(ambient_lux=251.0))
+        assert a == b
+        assert a / policy.quantize_step == pytest.approx(
+            round(a / policy.quantize_step))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetPolicy(min_budget=10.0, base_budget=5.0)
+        with pytest.raises(ValueError):
+            BudgetPolicy(base_budget=30.0, max_budget=25.0)
+        with pytest.raises(ValueError):
+            BudgetPolicy(quantize_step=-0.25)
+        with pytest.raises(ValueError):
+            BudgetPolicy(ambient_gain=-1.0)
+
+    def test_zero_step_disables_quantization(self):
+        policy = BudgetPolicy(quantize_step=0.0)
+        budget = policy.budget_for(OperatingConditions(ambient_lux=300.0))
+        assert budget == pytest.approx(
+            policy.base_budget + policy.ambient_term(300.0))
+
+    def test_wire_round_trip(self):
+        policy = BudgetPolicy(base_budget=4.0, ambient_gain=2.0,
+                              quantize_step=0.5)
+        assert BudgetPolicy.from_wire(policy.to_wire()) == policy
+
+    def test_default_policy_is_usable(self):
+        budget = DEFAULT_POLICY.budget_for(OperatingConditions())
+        assert DEFAULT_POLICY.min_budget <= budget <= DEFAULT_POLICY.max_budget

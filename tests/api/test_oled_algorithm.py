@@ -1,0 +1,132 @@
+"""Tests for the OLED darkening adapter behind the unified API."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api.engine import Engine
+from repro.api.registry import (
+    OLEDDarkenAlgorithm,
+    algorithm_display_classes,
+    available_algorithms,
+    create,
+)
+from repro.api.types import CompensationResult, CompensationSolution
+from repro.core.darken import DarkenResult, DarkenSolution
+
+OLED_ALGORITHMS = ("oled-darken", "oled-darken-clipped")
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert set(OLED_ALGORITHMS) <= set(available_algorithms())
+
+    def test_display_classes_cover_every_name(self):
+        classes = algorithm_display_classes()
+        assert set(classes) == set(available_algorithms())
+        for name in OLED_ALGORITHMS:
+            assert classes[name] == "emissive"
+        assert classes["hebs"] == "backlit"
+        assert classes["cbcs"] == "backlit"
+
+    def test_display_class_attribute(self):
+        assert create("oled-darken").display_class == "emissive"
+        assert create("hebs").display_class == "backlit"
+
+    def test_create_names(self):
+        assert create("oled-darken").name == "oled-darken"
+        assert create("oled-darken-clipped").name == "oled-darken-clipped"
+
+    def test_clipped_variant_uses_clipped_equalizer(self):
+        algorithm = create("oled-darken-clipped")
+        assert algorithm.darkener.equalization == "clipped"
+
+
+class TestContract:
+    @pytest.mark.parametrize("name", OLED_ALGORITHMS)
+    def test_process_roundtrip(self, name, pout):
+        result = create(name).compensate(pout, 10.0)
+        assert isinstance(result, CompensationResult)
+        assert result.algorithm == name
+        assert result.backlight_factor == 1.0
+        assert result.power.ccfl == 0.0
+        assert result.distortion <= 10.0
+        assert result.power_saving > 0.0
+        assert isinstance(result.details, DarkenResult)
+
+    def test_solve_apply_split(self, baboon):
+        algorithm = create("oled-darken")
+        solution = algorithm.solve(baboon, 10.0)
+        assert isinstance(solution, CompensationSolution)
+        assert solution.backlight_factor == 1.0
+        assert isinstance(solution.details, DarkenSolution)
+        replayed = algorithm.apply_solution(solution, baboon)
+        direct = algorithm.compensate(baboon, 10.0)
+        assert np.array_equal(replayed.output.pixels, direct.output.pixels)
+
+    def test_apply_rejects_foreign_solution(self, baboon):
+        algorithm = create("oled-darken")
+        hebs_solution = create("hebs").solve(baboon, 10.0)
+        with pytest.raises(TypeError):
+            algorithm.apply_solution(hebs_solution, baboon)
+
+    def test_unbounded_budget_reports_none(self, baboon):
+        result = create("oled-darken").compensate(baboon, math.nan)
+        assert result.max_distortion is None
+
+    def test_at_backlight_reports_imposed_factor(self, baboon):
+        algorithm = create("oled-darken")
+        result = algorithm.at_backlight(baboon, 0.5)
+        assert result.backlight_factor == 0.5
+        # deeper imposed darkening must not cost more power
+        gentler = algorithm.at_backlight(baboon, 0.9)
+        assert result.power.total <= gentler.power.total
+
+    def test_custom_darkener_passthrough(self, baboon):
+        algorithm = OLEDDarkenAlgorithm(min_range=64, safety_margin=1.0)
+        assert algorithm.darkener.min_range == 64
+        assert algorithm.darkener.safety_margin == 1.0
+
+
+class TestEngineIntegration:
+    def test_engine_process(self, baboon):
+        engine = Engine("oled-darken")
+        result = engine.process(baboon, 10.0)
+        assert result.algorithm == "oled-darken"
+        assert result.power.ccfl == 0.0
+        assert not result.from_cache
+
+    def test_cache_hit_is_bit_identical(self, baboon):
+        engine = Engine("oled-darken")
+        first = engine.process(baboon, 10.0)
+        second = engine.process(baboon, 10.0)
+        assert second.from_cache
+        assert np.array_equal(first.output.pixels, second.output.pixels)
+        assert first == second
+
+    def test_no_cross_class_cache_leakage(self, baboon):
+        """Same image + budget under both display classes: two misses."""
+        engine = Engine()
+        engine.process(baboon, 10.0, algorithm="hebs")
+        engine.process(baboon, 10.0, algorithm="oled-darken")
+        stats = engine.cache_stats
+        assert stats.misses == 2
+        assert stats.hits == 0
+        # and each repeat now hits its own entry
+        engine.process(baboon, 10.0, algorithm="hebs")
+        engine.process(baboon, 10.0, algorithm="oled-darken")
+        assert engine.cache_stats.hits == 2
+
+    def test_batch(self, small_suite):
+        engine = Engine("oled-darken")
+        results = engine.process_batch(small_suite.values(), 10.0)
+        assert len(results) == len(small_suite)
+        assert all(r.power.ccfl == 0.0 for r in results)
+
+    def test_session_stream(self, baboon):
+        engine = Engine("oled-darken")
+        with engine.open_session(10.0) as session:
+            for _ in range(3):
+                frame = session.submit(baboon)
+                assert frame.result.power.ccfl == 0.0

@@ -1,0 +1,148 @@
+"""Unit tests for the inverted (emissive) optimization: content darkening."""
+
+import numpy as np
+import pytest
+
+from repro.core.darken import (
+    ContentDarkener,
+    DarkenSolution,
+    DEFAULT_SAFETY_MARGINS,
+    darkening_transform,
+)
+from repro.core.histogram import Histogram
+from repro.core.transforms import LUTTransform
+from repro.display.oled import OLEDPowerBreakdown
+
+
+class TestDarkeningTransform:
+    def test_never_brightens(self, baboon):
+        histogram = Histogram.of_image(baboon.to_grayscale())
+        transform = darkening_transform(histogram, 128)
+        identity = np.linspace(0.0, 1.0, histogram.levels)
+        assert np.all(np.asarray(transform.table) <= identity + 1e-12)
+
+    def test_monotone(self, baboon):
+        histogram = Histogram.of_image(baboon.to_grayscale())
+        table = np.asarray(darkening_transform(histogram, 64).table)
+        assert np.all(np.diff(table) >= -1e-12)
+
+    def test_respects_target_range(self, baboon):
+        histogram = Histogram.of_image(baboon.to_grayscale())
+        target_range = 100
+        table = np.asarray(darkening_transform(histogram, target_range).table)
+        assert table.max() <= target_range / (histogram.levels - 1) + 1e-12
+
+    def test_pointwise_nondecreasing_in_range(self, baboon):
+        """The bisection's monotonicity premise."""
+        histogram = Histogram.of_image(baboon.to_grayscale())
+        smaller = np.asarray(darkening_transform(histogram, 64).table)
+        larger = np.asarray(darkening_transform(histogram, 192).table)
+        assert np.all(smaller <= larger + 1e-12)
+
+    def test_uniform_histogram_is_near_identity_at_full_range(self):
+        """Equalizing an already-uniform image onto [0, L-1] changes little."""
+        histogram = Histogram(np.full(256, 4))
+        table = np.asarray(darkening_transform(histogram, 255).table)
+        identity = np.linspace(0.0, 1.0, 256)
+        assert np.max(identity - table) < 0.02
+
+    def test_range_validation(self, baboon):
+        histogram = Histogram.of_image(baboon.to_grayscale())
+        with pytest.raises(ValueError):
+            darkening_transform(histogram, 0)
+        with pytest.raises(ValueError):
+            darkening_transform(histogram, 256)
+
+    def test_clipped_variant(self, baboon):
+        histogram = Histogram.of_image(baboon.to_grayscale())
+        transform = darkening_transform(histogram, 128,
+                                        equalization="clipped")
+        identity = np.linspace(0.0, 1.0, histogram.levels)
+        assert np.all(np.asarray(transform.table) <= identity + 1e-12)
+
+
+class TestContentDarkener:
+    def test_rejects_bbhe(self):
+        with pytest.raises(ValueError, match="ghe.*clipped"):
+            ContentDarkener(equalization="bbhe")
+
+    def test_default_safety_margin_is_calibrated(self):
+        assert ContentDarkener().safety_margin == DEFAULT_SAFETY_MARGINS["ghe"]
+        clipped = ContentDarkener(equalization="clipped")
+        assert clipped.safety_margin == DEFAULT_SAFETY_MARGINS["clipped"]
+
+    def test_safety_margin_validation(self):
+        with pytest.raises(ValueError):
+            ContentDarkener(safety_margin=0.0)
+        with pytest.raises(ValueError):
+            ContentDarkener(safety_margin=1.5)
+
+    def test_budget_honored_on_suite(self, small_suite):
+        darkener = ContentDarkener()
+        budget = 10.0
+        for image in small_suite.values():
+            result = darkener.process(image, budget)
+            assert result.distortion <= budget
+
+    def test_power_saving_positive_under_real_budget(self, baboon):
+        result = ContentDarkener().process(baboon, 10.0)
+        assert result.power_saving > 0.10
+        assert isinstance(result.power, OLEDPowerBreakdown)
+        assert result.power.total < result.reference_power.total
+
+    def test_zero_budget_falls_back_to_identity(self, baboon):
+        solution = ContentDarkener().solve(baboon, 0.0)
+        assert solution.identity
+        result = ContentDarkener().apply_solution(solution, baboon)
+        assert result.distortion == pytest.approx(0.0, abs=1e-9)
+        assert np.array_equal(result.output.pixels,
+                              baboon.to_grayscale().pixels)
+
+    def test_larger_budget_darkens_at_least_as_hard(self, baboon):
+        darkener = ContentDarkener()
+        loose = darkener.solve(baboon, 20.0)
+        tight = darkener.solve(baboon, 5.0)
+        assert loose.target_range <= tight.target_range
+
+    def test_solve_is_histogram_only(self, baboon):
+        """Fig.-4 discipline: Image and its bare Histogram solve identically."""
+        darkener = ContentDarkener()
+        histogram = Histogram.of_image(baboon.to_grayscale())
+        from_image = darkener.solve(baboon, 10.0)
+        from_histogram = darkener.solve(histogram, 10.0)
+        assert from_image == from_histogram
+
+    def test_solve_range_skips_search(self, baboon):
+        solution = ContentDarkener().solve_range(baboon, 80)
+        assert solution.target_range == 80
+        assert not solution.identity
+        assert isinstance(solution, DarkenSolution)
+        assert isinstance(solution.transform, LUTTransform)
+
+    def test_apply_rejects_level_mismatch(self, baboon):
+        solution = ContentDarkener().solve(baboon, 10.0)
+        small = Histogram(np.full(16, 4)).to_image()
+        with pytest.raises(ValueError, match="levels"):
+            ContentDarkener().apply_solution(solution, small)
+
+    def test_min_range_floor(self, flat_image):
+        """A flat image darkens for free; the floor stops the collapse."""
+        darkener = ContentDarkener(min_range=32)
+        selected = darkener.select_range(flat_image, 50.0)
+        assert selected == 32
+
+    def test_negative_budget_rejected(self, baboon):
+        with pytest.raises(ValueError):
+            ContentDarkener().select_range(baboon, -1.0)
+
+    def test_output_never_brighter(self, small_suite):
+        darkener = ContentDarkener()
+        for image in small_suite.values():
+            result = darkener.process(image, 15.0)
+            assert np.all(result.output.pixels
+                          <= result.original.pixels)
+
+    def test_clipped_darkener_end_to_end(self, baboon):
+        result = ContentDarkener(equalization="clipped").process(baboon, 10.0)
+        assert result.distortion <= 10.0
+        assert result.power_saving > 0.0

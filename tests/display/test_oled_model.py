@@ -1,0 +1,218 @@
+"""Unit tests for the emissive (OLED) display power model."""
+
+import numpy as np
+import pytest
+
+from repro.display.controller import LCDController
+from repro.display.oled import (
+    EmissionModel,
+    OLEDDisplayPowerModel,
+    OLEDModel,
+    OLEDPanelAdapter,
+    OLEDPowerBreakdown,
+    OLEDSupplyModel,
+    QVGA_AMOLED,
+    linear_to_srgb,
+    oled_power_saving,
+    srgb_to_linear,
+)
+from repro.display.power import DisplayPowerModel, PowerBreakdown
+from repro.imaging.image import Image
+
+
+class TestSRGBTransfer:
+    def test_round_trip_scalar(self):
+        for x in (0.0, 0.01, 0.04045, 0.2, 0.5, 0.99, 1.0):
+            assert linear_to_srgb(srgb_to_linear(x)) == pytest.approx(x, abs=1e-12)
+
+    def test_round_trip_array(self):
+        x = np.linspace(0.0, 1.0, 257)
+        back = linear_to_srgb(srgb_to_linear(x))
+        np.testing.assert_allclose(back, x, atol=1e-12)
+
+    def test_endpoints(self):
+        assert srgb_to_linear(0.0) == 0.0
+        assert srgb_to_linear(1.0) == pytest.approx(1.0)
+
+    def test_scalar_in_scalar_out(self):
+        assert isinstance(srgb_to_linear(0.5), float)
+        assert isinstance(linear_to_srgb(0.5), float)
+
+    def test_monotone(self):
+        x = np.linspace(0.0, 1.0, 513)
+        assert np.all(np.diff(srgb_to_linear(x)) >= 0)
+
+    def test_gamma_compresses_midtones(self):
+        """Mid-gray emits far less than half the luminance of white."""
+        assert srgb_to_linear(0.5) < 0.25
+
+
+class TestEmissionModel:
+    def test_black_is_t_off(self):
+        assert EmissionModel().transmittance(0.0) == pytest.approx(
+            EmissionModel().t_off)
+
+    def test_inverse(self):
+        model = EmissionModel()
+        x = np.linspace(0.0, 1.0, 129)
+        np.testing.assert_allclose(
+            model.pixel_value(model.transmittance(x)), x, atol=1e-10)
+
+
+class TestOLEDPowerBreakdown:
+    def test_total(self):
+        assert OLEDPowerBreakdown(emissive=0.3, overhead=0.1).total == pytest.approx(0.4)
+
+    def test_saving_versus(self):
+        reference = OLEDPowerBreakdown(emissive=0.8, overhead=0.2)
+        darker = OLEDPowerBreakdown(emissive=0.3, overhead=0.2)
+        assert darker.saving_versus(reference) == pytest.approx(0.5)
+
+    def test_saving_versus_zero_reference(self):
+        zero = OLEDPowerBreakdown(emissive=0.0, overhead=0.0)
+        assert OLEDPowerBreakdown(1.0, 0.0).saving_versus(zero) == 0.0
+
+    def test_as_power_breakdown_is_plain_class(self):
+        """Wire equality is class-exact, so no subclassing games."""
+        generic = OLEDPowerBreakdown(0.3, 0.1).as_power_breakdown()
+        assert type(generic) is PowerBreakdown
+        assert generic.ccfl == 0.0
+        assert generic.panel == pytest.approx(0.4)
+        assert generic == PowerBreakdown(ccfl=0.0, panel=0.4)
+
+
+class TestOLEDModel:
+    def test_white_frame_costs_unit_power(self):
+        white = Image.constant(255, shape=(16, 16))
+        model = OLEDModel()
+        assert model.frame_power(white) == pytest.approx(model.white_gain)
+        assert model.white_gain == pytest.approx(1.0)
+
+    def test_black_frame_costs_only_overhead(self):
+        black = Image.constant(0, shape=(16, 16))
+        breakdown = OLEDModel().breakdown(black)
+        assert breakdown.emissive == pytest.approx(0.0, abs=1e-12)
+        assert breakdown.total == pytest.approx(OLEDModel().static_power)
+
+    def test_blue_is_hungriest_primary(self):
+        model = QVGA_AMOLED
+        assert model.blue_gain > model.red_gain > model.green_gain
+
+    def test_rgb_channel_costs_ordered(self):
+        model = QVGA_AMOLED
+        red = model.rgb_pixel_power(1.0, 0.0, 0.0)
+        green = model.rgb_pixel_power(0.0, 1.0, 0.0)
+        blue = model.rgb_pixel_power(0.0, 0.0, 1.0)
+        assert blue > red > green
+        assert red + green + blue == pytest.approx(model.pixel_power(1.0))
+
+    def test_power_monotone_in_pixel_value(self):
+        x = np.linspace(0.0, 1.0, 257)
+        power = QVGA_AMOLED.pixel_power(x)
+        assert np.all(np.diff(power) >= 0)
+
+    def test_dimming_scales_emissive_linearly(self, gradient_image):
+        model = QVGA_AMOLED
+        full = model.frame_power(gradient_image, 1.0)
+        half = model.frame_power(gradient_image, 0.5)
+        assert half == pytest.approx(0.5 * full)
+
+    def test_dimming_does_not_touch_overhead(self, gradient_image):
+        model = QVGA_AMOLED
+        assert model.breakdown(gradient_image, 0.3).overhead == pytest.approx(
+            model.static_power)
+
+    def test_clamp_factor(self):
+        model = OLEDModel(min_factor=0.1)
+        assert model.clamp_factor(0.0) == pytest.approx(0.1)
+        assert model.clamp_factor(2.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OLEDModel(red_gain=0.0)
+        with pytest.raises(ValueError):
+            OLEDModel(static_power=-0.1)
+        with pytest.raises(ValueError):
+            OLEDModel(min_factor=1.5)
+
+    def test_darker_content_costs_less(self, gradient_image):
+        darker = gradient_image.with_pixels(gradient_image.pixels // 2)
+        model = QVGA_AMOLED
+        assert model.frame_power(darker) < model.frame_power(gradient_image)
+
+
+class TestOLEDDisplayPowerModel:
+    def test_surface_matches_backlit_model(self):
+        """Same method names + signatures as DisplayPowerModel."""
+        for name in ("breakdown", "total", "reference", "saving",
+                     "saving_percent"):
+            assert callable(getattr(OLEDDisplayPowerModel(), name))
+            assert callable(getattr(DisplayPowerModel(), name))
+
+    def test_reference_has_no_ccfl(self, gradient_image):
+        reference = OLEDDisplayPowerModel().reference(gradient_image)
+        assert type(reference) is PowerBreakdown
+        assert reference.ccfl == 0.0
+        assert reference.panel > 0.0
+
+    def test_darkening_saves_power(self, gradient_image):
+        model = OLEDDisplayPowerModel()
+        darker = gradient_image.with_pixels(gradient_image.pixels // 2)
+        saving = model.saving_percent(gradient_image, darker, 1.0)
+        assert 0.0 < saving < 100.0
+
+    def test_saving_zero_when_nothing_changes(self, gradient_image):
+        model = OLEDDisplayPowerModel()
+        value = model.saving_percent(gradient_image, gradient_image, 1.0)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_convenience_function(self, gradient_image, flat_image):
+        expected = OLEDDisplayPowerModel().saving_percent(
+            gradient_image, flat_image, 1.0)
+        assert oled_power_saving(gradient_image, flat_image) == pytest.approx(
+            expected)
+
+
+class TestControllerDropIns:
+    """LCDController drives an emissive panel with no controller changes."""
+
+    def _oled_controller(self) -> LCDController:
+        return LCDController(ccfl=OLEDSupplyModel(),
+                             panel=OLEDPanelAdapter())
+
+    def test_display_frame(self, gradient_image):
+        frame = self._oled_controller().display(gradient_image)
+        assert frame.ccfl_power == pytest.approx(QVGA_AMOLED.static_power)
+        assert frame.panel_power == pytest.approx(
+            QVGA_AMOLED.frame_power(gradient_image))
+        assert frame.backlight_factor == 1.0
+
+    def test_supply_power_constant_in_dimming(self):
+        supply = OLEDSupplyModel()
+        assert supply.power(1.0) == supply.power(0.2) == supply.full_power()
+        assert supply.power_saving(0.5) == 0.0
+
+    def test_supply_power_array(self):
+        supply = OLEDSupplyModel()
+        values = supply.power(np.array([0.2, 0.8]))
+        np.testing.assert_allclose(values, supply.overhead)
+
+    def test_darker_frame_draws_less_panel_power(self, gradient_image):
+        controller = self._oled_controller()
+        darker = gradient_image.with_pixels(gradient_image.pixels // 2)
+        assert (controller.display(darker).panel_power
+                < controller.display(gradient_image).panel_power)
+
+    def test_set_backlight_respects_min_factor_zero(self):
+        controller = self._oled_controller()
+        assert controller.set_backlight(0.0) == 0.0
+
+    def test_panel_adapter_transmissivity_is_emission(self):
+        adapter = OLEDPanelAdapter()
+        assert adapter.transmissivity is QVGA_AMOLED.emission
+
+    def test_supply_validation(self):
+        with pytest.raises(ValueError):
+            OLEDSupplyModel(overhead=-1.0)
+        with pytest.raises(ValueError):
+            OLEDSupplyModel(min_factor=1.0)

@@ -80,3 +80,62 @@ class TestReportTable:
         rendered = report_table(report, serial_seconds=12.0).render()
         assert "serial baseline (s)" in rendered
         assert "speedup vs serial" in rendered
+
+
+class TestMixedDisplayClasses:
+    """PR 9 traffic diversification: CCFL and OLED requests interleave on
+    one server — same cache, same sessions, same worker pool."""
+
+    def test_algorithm_sequence_cycles_by_index(self):
+        from repro.serve.loadgen import _algorithm_for
+
+        mixed = ["hebs", "oled-darken"]
+        assert [_algorithm_for(mixed, i) for i in range(4)] == [
+            "hebs", "oled-darken", "hebs", "oled-darken"]
+        assert _algorithm_for("hebs", 3) == "hebs"
+        assert _algorithm_for(None, 1) is None
+        with pytest.raises(ValueError, match="must not be empty"):
+            _algorithm_for([], 0)
+
+    def test_mixed_load_alternates_display_classes(self, workload):
+        with Server(engine=Engine(), workers=2) as server:
+            report = run_load(server, workload, 10.0, clients=3,
+                              algorithm=["hebs", "oled-darken"])
+        assert report.errors == 0
+        assert report.requests == len(workload)
+        for index, result in report.results.items():
+            expected = "hebs" if index % 2 == 0 else "oled-darken"
+            assert result.algorithm == expected
+        emissive = [r for r in report.results.values()
+                    if r.algorithm == "oled-darken"]
+        assert emissive and all(r.power.ccfl == 0.0 for r in emissive)
+        backlit = [r for r in report.results.values()
+                   if r.algorithm == "hebs"]
+        assert backlit and all(r.power.ccfl > 0.0 for r in backlit)
+
+    def test_mixed_load_matches_serial_reference(self, workload):
+        reference = Engine()
+        expected = [reference.process(image, 10.0,
+                                      algorithm=["hebs", "oled-darken"][i % 2])
+                    for i, image in enumerate(workload)]
+        with Server(engine=Engine(), workers=2) as server:
+            report = run_load(server, workload, 10.0, clients=4,
+                              algorithm=["hebs", "oled-darken"])
+        for index, want in enumerate(expected):
+            got = report.results[index]
+            assert np.array_equal(want.output.pixels, got.output.pixels)
+
+    def test_mixed_stream_load(self, small_suite):
+        from repro.serve import run_stream_load
+
+        clips = [list(small_suite.values())[:3] for _ in range(4)]
+        with Server(engine=Engine(), workers=2) as server:
+            report = run_stream_load(server, clips, 10.0,
+                                     algorithm=["hebs", "oled-darken"])
+        assert report.errors == 0
+        classes = set()
+        for results in report.outcomes.values():
+            names = {frame.result.algorithm for frame in results}
+            assert len(names) == 1      # one display class per session
+            classes |= names
+        assert classes == {"hebs", "oled-darken"}

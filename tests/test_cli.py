@@ -70,8 +70,24 @@ class TestAlgorithmsCommand:
         assert main(["algorithms"]) == 0
         output = capsys.readouterr().out
         for name in ("hebs", "hebs-adaptive", "hebs-clipped", "hebs-bbhe",
-                     "dls-brightness", "dls-contrast", "cbcs"):
+                     "dls-brightness", "dls-contrast", "cbcs",
+                     "oled-darken", "oled-darken-clipped"):
             assert name in output
+
+    def test_display_class_column(self, capsys):
+        """The table pins the display-class column from registry metadata."""
+        assert main(["algorithms"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        header = next(line for line in lines if line.startswith("name"))
+        assert header.split()[:3] == ["name", "display", "description"]
+        rows = {line.split()[0]: line.split()[1]
+                for line in lines if line and line[0].isalpha()
+                and not line.startswith("name")
+                and not line.startswith("Registered")}
+        assert rows["hebs"] == "backlit"
+        assert rows["cbcs"] == "backlit"
+        assert rows["oled-darken"] == "emissive"
+        assert rows["oled-darken-clipped"] == "emissive"
 
 
 class TestProcessAlgorithmSelection:
@@ -226,3 +242,54 @@ class TestExperimentCommand:
         assert main(["experiment", "fig6a"]) == 0
         output = capsys.readouterr().out
         assert "Cs=" in output or "Cs" in output
+
+
+class TestOLEDCommands:
+    def test_process_oled_darken(self, capsys):
+        assert main(["process", "baboon", "--algorithm", "oled-darken"]) == 0
+        output = capsys.readouterr().out
+        assert "oled-darken" in output
+        assert "darkening range" in output
+        assert "emissive power" in output
+        assert "driver overhead" in output
+        assert "reference voltages" not in output
+
+    def test_policy_flags_derive_budget(self, capsys):
+        assert main(["process", "pout", "--ambient-lux", "10000",
+                     "--battery", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "budget policy:" in output
+        assert "distortion budget" in output
+
+    def test_policy_charging_drops_battery_term(self, capsys):
+        assert main(["process", "pout", "--battery", "0.05",
+                     "--charging"]) == 0
+        drained = capsys.readouterr().out
+        assert main(["process", "pout", "--battery", "0.05"]) == 0
+        draining = capsys.readouterr().out
+
+        def budget_of(output):
+            line = next(l for l in output.splitlines()
+                        if l.startswith("budget policy:"))
+            return float(line.split("->")[1].split("%")[0].strip())
+
+        assert budget_of(drained) < budget_of(draining)
+
+    def test_serve_rejects_algorithm_list(self, capsys):
+        with pytest.raises(SystemExit, match="single algorithm"):
+            main(["serve", "--requests", "4",
+                  "--algorithm", "hebs,oled-darken"])
+        capsys.readouterr()
+
+    def test_loadtest_rejects_unknown_algorithm(self, capsys):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["loadtest", "--requests", "4",
+                  "--algorithm", "hebs,nope"])
+        capsys.readouterr()
+
+    def test_loadtest_mixed_display_classes(self, capsys):
+        assert main(["loadtest", "--requests", "8", "--clients", "2",
+                     "--workers", "2", "--no-warmup",
+                     "--algorithm", "hebs,oled-darken"]) == 0
+        output = capsys.readouterr().out
+        assert "Load test: 8 requests from 2 clients" in output
